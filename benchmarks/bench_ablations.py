@@ -1,0 +1,92 @@
+"""Design-choice ablations beyond the paper's Figure 12.
+
+DESIGN.md calls out three tunables the paper fixes by rule; these benches
+quantify why the rules are right:
+
+* **L sweep** — §3.1.1 sets L = 2r+2 for exactly-50% sparsity; larger L
+  loses SpTC benefit (sparsity > 50% wastes compressed slots), smaller L
+  is structurally impossible.
+* **Kernel-matrix packing** — Figure 8's transaction savings vs tile count.
+* **Metadata packing** — Figure 9's register savings vs group size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Spider,
+    build_kernel_matrix,
+    choose_L,
+    kernel_load_audit,
+    kernel_matrix_sparsity,
+    plan_metadata_packing,
+)
+from repro.core.encoding import encode_kernel_row
+from repro.stencil import Grid, make_box_kernel, naive_stencil
+
+
+@pytest.mark.paper_artifact("ablation-L")
+def test_L_choice_sparsity_sweep(report):
+    """Sparsity ratio as L varies: only L = 2r+2 pins exactly 50%."""
+    lines = [f"{'r':>3}{'L':>5}{'sparsity':>11}{'SpTC-exploitable':>18}"]
+    for r in (1, 2, 3, 7):
+        for dL in (0, 2, 4, 8):
+            L = choose_L(r) + dL
+            s = kernel_matrix_sparsity(r, L)
+            exploitable = "yes (exact)" if s == 0.5 else ("wasted" if s > 0.5 else "no")
+            lines.append(f"{r:>3}{L:>5}{s:>11.3f}{exploitable:>18}")
+            assert s >= 0.5
+    report("Ablation: L vs kernel-matrix sparsity (§3.1.1)", "\n".join(lines))
+
+
+@pytest.mark.paper_artifact("ablation-L")
+def test_larger_L_increases_parameter_storage(rng):
+    """Oversizing L inflates the compressed parameter footprint."""
+    row = rng.standard_normal(7)  # r = 3
+    base = encode_kernel_row(row)  # L = 8
+    big = encode_kernel_row(row, L=16)
+    assert big.parameter_elements() > base.parameter_elements()
+    # both remain functionally exact
+    spec = make_box_kernel(1, 3, rng)
+    g = Grid.random((80,), rng)
+    assert np.allclose(Spider(spec).run(g), naive_stencil(spec, g))
+
+
+@pytest.mark.paper_artifact("ablation-packing")
+def test_packing_transaction_savings(report):
+    lines = [f"{'k-tiles':>8}{'unpacked tx':>13}{'packed tx':>11}{'saving':>9}"]
+    for tiles in (1, 2, 4, 8):
+        unpacked, packed = kernel_load_audit(tiles)
+        lines.append(
+            f"{tiles:>8}{unpacked.transactions:>13}{packed.transactions:>11}"
+            f"{unpacked.transactions / packed.transactions:>8.1f}x"
+        )
+        assert packed.transactions < unpacked.transactions
+    report("Ablation: Figure-8 kernel-matrix packing", "\n".join(lines))
+
+
+@pytest.mark.paper_artifact("ablation-packing")
+def test_metadata_register_savings(report):
+    lines = [f"{'mmas':>6}{'group':>7}{'naive regs':>12}{'packed regs':>13}"]
+    for num_mma in (2, 4):
+        for group in (1, 2, 4):
+            plan = plan_metadata_packing(num_mma, group)
+            lines.append(
+                f"{num_mma:>6}{plan.group_size:>7}"
+                f"{plan.registers_per_thread_naive:>12}"
+                f"{plan.registers_per_thread_packed:>13}"
+            )
+            assert plan.registers_per_thread_packed <= plan.registers_per_thread_naive
+    report("Ablation: Figure-9 metadata packing", "\n".join(lines))
+
+
+def test_bench_encode_scaling_with_radius(benchmark, rng):
+    """AOT encoding cost grows with the kernel-matrix footprint only —
+    never with the problem size (§4.2's O(1) claim)."""
+    rows = [rng.standard_normal(2 * r + 1) for r in (1, 3, 7, 11)]
+
+    def encode_all():
+        return [encode_kernel_row(row) for row in rows]
+
+    encs = benchmark(encode_all)
+    assert len(encs) == 4

@@ -1,0 +1,70 @@
+"""Mathematical-equivalence bench (§3.1/§3.2 claims) and transformation
+overhead comparison (§4.2's offline-cost discussion).
+
+Benchmarks SPIDER's O(1)-per-radius AOT compilation against baselines'
+transformation work, and sweeps equivalence over every paper shape.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LoRAStencilMethod, low_rank_pairs
+from repro.core import Spider, encode_kernel_row
+from repro.stencil import (
+    PAPER_SHAPE_IDS,
+    Grid,
+    make_workload,
+    naive_stencil,
+)
+
+
+@pytest.mark.paper_artifact("equivalence")
+@pytest.mark.parametrize("shape_id", PAPER_SHAPE_IDS)
+def test_equivalence_all_paper_shapes(rng, shape_id, report):
+    scaled = (2048,) if shape_id.startswith("1D") else (48, 64)
+    wl = make_workload(shape_id, scaled)
+    g = wl.make_grid(rng)
+    out = Spider(wl.spec).run(g)
+    ref = naive_stencil(wl.spec, g)
+    err = float(np.max(np.abs(out - ref)))
+    assert err < 1e-9
+
+
+def test_bench_spider_aot_compilation(benchmark, rng):
+    """SPIDER's offline transformation: pure rule-based, O(1) in problem
+    size (§4.2). Timed per kernel row."""
+    row = rng.standard_normal(15)  # r = 7
+    enc = benchmark(lambda: encode_kernel_row(row))
+    assert enc.width == 32
+
+
+def test_bench_lora_offline_decomposition(benchmark, rng):
+    """LoRAStencil's offline low-rank decomposition (O(L^3) SVD)."""
+    w = rng.standard_normal((15, 15))
+    w = 0.5 * (w + w[::-1, ::-1])
+    pairs = benchmark(lambda: low_rank_pairs(w))
+    assert len(pairs) >= 1
+
+
+def test_bench_spider_sweep_2d(benchmark, rng):
+    wl = make_workload("Box-2D3R", (128, 128))
+    g = wl.make_grid(rng)
+    sp = Spider(wl.spec)
+    out = benchmark(lambda: sp.run(g))
+    assert out.shape == (128, 128)
+
+
+def test_bench_spider_sweep_1d(benchmark, rng):
+    wl = make_workload("1D1R", (1 << 16,))
+    g = wl.make_grid(rng)
+    sp = Spider(wl.spec)
+    out = benchmark(lambda: sp.run(g))
+    assert out.shape == g.shape
+
+
+def test_bench_reference_sweep_2d(benchmark, rng):
+    """Golden reference on the same workload, for context."""
+    wl = make_workload("Box-2D3R", (128, 128))
+    g = wl.make_grid(rng)
+    out = benchmark(lambda: naive_stencil(wl.spec, g))
+    assert out.shape == (128, 128)

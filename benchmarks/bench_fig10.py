@@ -1,0 +1,91 @@
+"""Figure 10 — performance comparison across all methods and shapes.
+
+Regenerates the eight panels (modeled A100 GStencils/s), asserts the
+reproduction targets (SPIDER wins everywhere; average speedups near the
+paper's 6.20/4.71/3.13/1.88/1.63/1.35), and benchmarks both the model and
+the functional executors on a scaled-down workload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import figure10, format_figure10
+from repro.baselines import PAPER_METHODS, all_paper_methods
+from repro.stencil import Grid, make_workload, naive_stencil
+
+PAPER_AVG = {
+    "cuDNN": 6.20,
+    "DRStencil": 4.71,
+    "TCStencil": 3.13,
+    "ConvStencil": 1.88,
+    "LoRAStencil": 1.63,
+    "FlashFFTStencil": 1.35,
+}
+
+
+@pytest.fixture(scope="module")
+def panels():
+    return figure10()
+
+
+@pytest.mark.paper_artifact("figure10")
+def test_figure10_panels(panels, report):
+    report("Figure 10 (reproduced)", format_figure10(panels))
+    for p in panels:
+        others = {m: v for m, v in p.gstencils.items() if m != "SPIDER"}
+        assert p.spider > max(others.values()), p.shape_id
+
+
+@pytest.mark.paper_artifact("figure10")
+@pytest.mark.parametrize("method", list(PAPER_AVG))
+def test_average_speedups(panels, method):
+    avg = float(np.mean([p.speedup_over(method) for p in panels]))
+    ref = PAPER_AVG[method]
+    assert ref * 0.65 <= avg <= ref * 1.35, f"{method}: modeled {avg:.2f} vs paper {ref}"
+
+
+@pytest.mark.paper_artifact("figure10")
+def test_radius_trend_vs_drstencil(panels, report):
+    by_id = {p.shape_id: p for p in panels}
+    trend = [by_id[f"Box-2D{r}R"].speedup_over("DRStencil") for r in (1, 2, 3)]
+    report(
+        "Figure 10: DRStencil radius trend",
+        f"Box-2D1R {trend[0]:.2f}x -> Box-2D2R {trend[1]:.2f}x -> "
+        f"Box-2D3R {trend[2]:.2f}x (paper: 4.27x -> 8.82x)",
+    )
+    assert trend[0] < trend[1] < trend[2]
+
+
+@pytest.mark.paper_artifact("figure10")
+def test_functional_cross_validation(rng, report):
+    """All seven methods produce the same stencil result on a scaled-down
+    Figure-10 workload (the modeled bars compare *correct* algorithms)."""
+    wl = make_workload("Box-2D2R", (96, 128))
+    g = wl.make_grid(rng)
+    ref = naive_stencil(wl.spec, g)
+    errs = {}
+    for m in all_paper_methods():
+        out = m.run(wl.spec, g)
+        errs[m.name] = float(np.max(np.abs(out - ref)))
+        assert errs[m.name] < 1e-9, m.name
+    report(
+        "Figure 10 functional cross-validation (Box-2D2R @ 96x128)",
+        "\n".join(f"{k:<18} max|err| = {v:.2e}" for k, v in errs.items()),
+    )
+
+
+def test_bench_model_full_figure(benchmark):
+    panels = benchmark(figure10)
+    assert len(panels) == 8
+
+
+@pytest.mark.parametrize("name", PAPER_METHODS)
+def test_bench_functional_sweep(benchmark, rng, name):
+    """Emulated functional sweep throughput per method (Box-2D2R @ 128²)."""
+    from repro.baselines import make_method
+
+    wl = make_workload("Box-2D2R", (128, 128))
+    g = wl.make_grid(rng)
+    method = make_method(name)
+    out = benchmark(lambda: method.run(wl.spec, g))
+    assert out.shape == g.shape

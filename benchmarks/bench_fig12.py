@@ -1,0 +1,80 @@
+"""Figure 12 — ablation of SPIDER's optimizations (Box-2D2R).
+
+Regenerates the TCStencil → w.TC → w.SpTC → w.SpTC+CO stack, asserts the
+stage-gain bands and the small-size occupancy dip, and cross-validates the
+variants functionally on the emulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import figure12, format_figure12
+from repro.core import Spider, SpiderVariant
+from repro.stencil import Grid, make_workload, naive_stencil
+
+
+@pytest.fixture(scope="module")
+def points():
+    return figure12()
+
+
+@pytest.mark.paper_artifact("figure12")
+def test_ablation_stack(points, report):
+    report("Figure 12 (reproduced)", format_figure12(points))
+    for p in points:
+        # every stage contributes at every size
+        assert p.tc_gain > 1.0
+        assert p.sptc_gain > 1.0
+        assert p.co_gain > 1.0
+
+
+@pytest.mark.paper_artifact("figure12")
+def test_stage_gain_bands(points):
+    tc = float(np.mean([p.tc_gain for p in points[1:]]))
+    sptc = float(np.mean([p.sptc_gain for p in points[1:]]))
+    co = float(np.mean([p.co_gain for p in points]))
+    assert 1.3 <= tc <= 2.6  # paper avg 1.54x
+    assert 1.4 <= sptc <= 2.0  # paper avg 1.66x, hardware cap 2x
+    assert 1.03 <= co <= 1.15  # paper avg 1.08x
+
+
+@pytest.mark.paper_artifact("figure12")
+def test_occupancy_dip_at_smallest_size(points, report):
+    """§4.4: the SpTC gain at (1280,1280) sits below the large-size gain
+    (paper: 1.43x vs 1.74x) due to under-occupancy."""
+    report(
+        "Figure 12 small-size dip",
+        f"+SpTC gain at 1280²: {points[0].sptc_gain:.2f}x vs at 10240²: "
+        f"{points[-1].sptc_gain:.2f}x (paper: 1.43x vs ~1.74x)",
+    )
+    assert points[0].sptc_gain < points[-1].sptc_gain * 0.9
+
+
+@pytest.mark.paper_artifact("figure12")
+def test_variants_functionally_identical(rng, report):
+    wl = make_workload("Box-2D2R", (64, 96))
+    g = wl.make_grid(rng)
+    ref = naive_stencil(wl.spec, g)
+    errs = {}
+    for variant in SpiderVariant:
+        out = Spider(wl.spec, variant=variant).run(g)
+        errs[variant.value] = float(np.max(np.abs(out - ref)))
+        assert errs[variant.value] < 1e-9
+    report(
+        "Figure 12 variant cross-validation",
+        "\n".join(f"{k:<10} max|err| = {v:.2e}" for k, v in errs.items()),
+    )
+
+
+def test_bench_ablation_generation(benchmark):
+    pts = benchmark(figure12)
+    assert len(pts) == 4
+
+
+@pytest.mark.parametrize("variant", list(SpiderVariant), ids=lambda v: v.value)
+def test_bench_variant_execution(benchmark, rng, variant):
+    wl = make_workload("Box-2D2R", (96, 96))
+    g = wl.make_grid(rng)
+    sp = Spider(wl.spec, variant=variant)
+    out = benchmark(lambda: sp.run(g))
+    assert out.shape == g.shape

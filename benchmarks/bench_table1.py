@@ -1,0 +1,65 @@
+"""Table 1 — redundancy analysis closed forms for every method.
+
+Regenerates the symbolic table plus the §2.3 redundancy factors
+(ConvStencil 2.12×/4.24×/16.98× of the lower bound, etc.) and benchmarks
+the cost-model evaluation itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    SECTION_2_3_NARRATIVE,
+    TABLE1_FORMULAS,
+    cost_for_spec,
+    redundancy_factors,
+)
+from repro.stencil import make_box_kernel
+
+GRID = (10240, 10240)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return make_box_kernel(2, 3, np.random.default_rng(0), symmetric=True)
+
+
+@pytest.mark.paper_artifact("table1")
+def test_table1_formulas_print(report):
+    lines = []
+    for method, formulas in TABLE1_FORMULAS.items():
+        lines.append(f"{method}:")
+        for kind, expr in formulas.items():
+            lines.append(f"  {kind:<12} {expr}")
+    report("Table 1: Redundancy Analysis of Different Methods (closed forms)", "\n".join(lines))
+
+
+@pytest.mark.paper_artifact("table1")
+def test_section_2_3_redundancy_factors(spec, report):
+    lines = [f"{'method':<14}{'compute xLB':>12}{'input xLB':>12}{'param xLB':>12}"]
+    for method, ref in SECTION_2_3_NARRATIVE.items():
+        got = redundancy_factors(method, spec, GRID).as_tuple()
+        lines.append(
+            f"{method:<14}{got[0]:>12.2f}{got[1]:>12.2f}{got[2]:>12.2f}"
+        )
+        for g, r in zip(got, ref):
+            assert g == pytest.approx(r, abs=0.01)
+    # SPIDER's own factors for context
+    sp = redundancy_factors("SPIDER", spec, GRID).as_tuple()
+    lines.append(f"{'SPIDER':<14}{sp[0]:>12.2f}{sp[1]:>12.2f}{sp[2]:>12.2f}")
+    report("§2.3 redundancy factors vs lower bound (Box-2D3R, c=8)", "\n".join(lines))
+    # SPIDER beats every tabulated method on compute and parameter access
+    for method in SECTION_2_3_NARRATIVE:
+        other = redundancy_factors(method, spec, GRID)
+        assert sp[0] < other.compute
+        assert sp[2] < other.parameter_access
+
+
+def test_bench_cost_evaluation(benchmark, spec):
+    methods = ["LowerBound", "ConvStencil", "TCStencil", "LoRAStencil", "SPIDER"]
+
+    def evaluate_all():
+        return [cost_for_spec(m, spec, GRID) for m in methods]
+
+    results = benchmark(evaluate_all)
+    assert len(results) == 5

@@ -1,0 +1,42 @@
+"""Table 2 — quantitative comparison for the Box-2D3R point update.
+
+Asserts the paper's numbers to the digit and benchmarks the generator.
+"""
+
+import pytest
+
+from repro.analysis import TABLE2_PAPER, format_table2, table2_rows
+
+
+@pytest.mark.paper_artifact("table2")
+def test_table2_exact(report):
+    rows = table2_rows()
+    report("Table 2 (reproduced)", format_table2(rows))
+    for name, comp, inp, par in rows:
+        ref = TABLE2_PAPER[name]
+        assert comp == pytest.approx(ref[0], abs=0.005), name
+        assert inp == pytest.approx(ref[1], abs=0.005), name
+        assert par == pytest.approx(ref[2], abs=0.005), name
+
+
+@pytest.mark.paper_artifact("table2")
+def test_table2_orderings(report):
+    by_name = {r[0]: r[1:] for r in table2_rows()}
+    # SPIDER closest to the lower bound on computation among all methods
+    lb = by_name["LowerBound"]
+    for other in ("ConvStencil", "TCStencil", "LoRAStencil"):
+        assert by_name["SPIDER"][0] < by_name[other][0]
+    assert by_name["SPIDER"][0] / lb[0] < 1.2  # 56 / 49
+    # best parameter access among the GEMM transformations
+    for other in ("ConvStencil", "TCStencil", "LoRAStencil"):
+        assert by_name["SPIDER"][2] < by_name[other][2]
+    report(
+        "Table 2 shape checks",
+        "SPIDER computation within 15% of the lower bound; "
+        "best parameter access among GEMM methods.",
+    )
+
+
+def test_bench_table2_generation(benchmark):
+    rows = benchmark(table2_rows)
+    assert len(rows) == 5

@@ -1,0 +1,32 @@
+"""Benchmark harness configuration.
+
+Every ``bench_*`` module regenerates one of the paper's tables or figures:
+it prints the paper-style rows/series (captured with ``-s`` or in the
+pytest summary) and asserts the reproduction's shape claims, while
+pytest-benchmark times the underlying computation.
+"""
+
+import numpy as np
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper_artifact(name): which table/figure this regenerates"
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2026)
+
+
+@pytest.fixture(scope="session")
+def report(request):
+    """Print a paper artifact block so it survives in captured output."""
+
+    def _report(title: str, body: str) -> None:
+        bar = "=" * 78
+        print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+    return _report

@@ -1,0 +1,49 @@
+"""Run every evaluated method on one workload: functional agreement plus
+the modeled A100 throughput comparison (a one-workload slice of Figure 10).
+
+Run:  python examples/compare_methods.py [shape-id]
+      e.g. python examples/compare_methods.py Star-2D2R
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis import estimate_method
+from repro.baselines import all_paper_methods
+from repro.stencil import make_workload, naive_stencil
+
+
+def main(shape_id: str = "Box-2D2R") -> None:
+    # functional comparison on a scaled-down grid (the emulator is Python);
+    # the modeled throughput uses the paper's full problem size
+    small = (64, 96) if "2D" in shape_id else (4096,)
+    wl_small = make_workload(shape_id, small)
+    wl_paper = make_workload(shape_id)
+
+    grid = wl_small.make_grid(np.random.default_rng(3))
+    ref = naive_stencil(wl_small.spec, grid)
+
+    print(f"workload: {shape_id}  (functional check at {small}, "
+          f"model at {wl_paper.grid_shape})\n")
+    print(f"{'method':<18}{'max error':>12}{'modeled GStencils/s':>22}{'bound':>9}")
+    rows = []
+    for method in all_paper_methods():
+        if not method.supports(wl_small.spec):
+            print(f"{method.name:<18}{'unsupported':>12}")
+            continue
+        out = method.run(wl_small.spec, grid)
+        err = float(np.max(np.abs(out - ref)))
+        est = estimate_method(method.name, wl_paper.spec, wl_paper.grid_shape)
+        rows.append((method.name, est.gstencils))
+        print(f"{method.name:<18}{err:>12.2e}{est.gstencils:>22.1f}{est.bound:>9}")
+
+    spider = dict(rows)["SPIDER"]
+    print("\nspeedups of SPIDER:")
+    for name, g in rows:
+        if name != "SPIDER":
+            print(f"  vs {name:<18} {spider / g:5.2f}x")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "Box-2D2R")

@@ -1,0 +1,79 @@
+"""Distributed 3D heat diffusion: domain decomposition + halo exchange,
+with each rank's sweep running on the SPIDER pipeline.
+
+A 3D block of material with a hot core is decomposed over 4 simulated
+ranks; every time step exchanges an r-deep halo between neighbours (the
+2D process grid partitions the leading axes... here a 2D decomposition of
+the first two axes is emulated by flattening: we decompose the 2D
+top-view and keep the depth axis local, the standard pencil layout).
+
+For the 3D stencil itself this example uses the global (single-rank)
+path to exercise SPIDER's 3D support, and the 2D distributed path for the
+halo-exchange machinery — both cross-checked against the reference.
+
+Run:  python examples/distributed_heat_3d.py
+"""
+
+import numpy as np
+
+from repro import Grid, Spider, named_stencil
+from repro.stencil import naive_stencil
+from repro.stencil.distributed import (
+    DistributedStencil,
+    DomainDecomposition,
+    halo_traffic,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+
+    # ------------------------------------------------------------------
+    # 1. SPIDER on a 3D stencil (the §3.1.2 generality claim)
+    # ------------------------------------------------------------------
+    spec3 = named_stencil("heat3d")
+    block = np.zeros((24, 24, 24))
+    block[8:16, 8:16, 8:16] = 50.0
+    g3 = Grid(block)
+    spider3 = Spider(spec3)
+    out3 = spider3.run(g3)
+    err3 = float(np.max(np.abs(out3 - naive_stencil(spec3, g3))))
+    print(f"3D heat sweep (24^3, {spec3.benchmark_id}): "
+          f"SPIDER vs reference max err = {err3:.2e}")
+    assert err3 < 1e-12
+
+    # ------------------------------------------------------------------
+    # 2. Distributed 2D diffusion with SPIDER per-rank executors
+    # ------------------------------------------------------------------
+    spec2 = named_stencil("heat2d")
+    plate = np.zeros((64, 96))
+    plate[24:40, 36:60] = 100.0
+    g2 = Grid(plate)
+    decomp = DomainDecomposition(g2.shape, 4)
+    print(f"\ndecomposition: {decomp.proc_grid} process grid over {g2.shape}")
+    for sub in decomp.subdomains():
+        print(f"  rank {sub.rank}: block {sub.shape} at coords {sub.coords}")
+    print(f"halo traffic per sweep: "
+          f"{halo_traffic(decomp, spec2.radius, 8)} bytes")
+
+    spider2 = Spider(spec2)
+    ds = DistributedStencil(
+        spec2, decomp, executor=lambda s, gr: spider2.run(gr)
+    )
+    current = g2
+    for step in range(10):
+        current = ds.step(current)
+    # compare against the single-domain reference stepping
+    ref = g2
+    for _ in range(10):
+        ref = ref.like(naive_stencil(spec2, ref))
+    err = float(np.max(np.abs(current.data - ref.data)))
+    print(f"\n10 distributed steps (4 ranks, SPIDER executors): "
+          f"max err vs single-domain reference = {err:.2e}")
+    print(f"total bytes exchanged: {ds.bytes_exchanged}")
+    assert err < 1e-12
+    print("distributed halo exchange verified.")
+
+
+if __name__ == "__main__":
+    main()

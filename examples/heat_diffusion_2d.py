@@ -1,0 +1,69 @@
+"""Heat diffusion on a 2D plate, time-stepped through SPIDER.
+
+A hot square is dropped in the middle of a cold plate with fixed
+(zero-temperature) edges; the 5-point diffusion stencil spreads the heat
+until it leaks out through the boundary.  Every sweep runs through the
+full SPIDER pipeline (strided-swapped 2:4 kernel + emulated mma.sp) and is
+cross-checked against the reference executor.
+
+Run:  python examples/heat_diffusion_2d.py
+"""
+
+import numpy as np
+
+from repro import Grid, Spider, named_stencil
+from repro.stencil import l2_error, vectorized_stencil
+
+SIZE = 96
+STEPS = 200
+CHECK_EVERY = 50
+
+
+def ascii_plot(data: np.ndarray, width: int = 48) -> str:
+    """Coarse ASCII heat map."""
+    shades = " .:-=+*#%@"
+    step = max(1, data.shape[0] // (width // 2))
+    rows = []
+    lo, hi = data.min(), data.max()
+    span = (hi - lo) or 1.0
+    for i in range(0, data.shape[0], step * 2):
+        row = ""
+        for j in range(0, data.shape[1], step):
+            level = int((data[i, j] - lo) / span * (len(shades) - 1))
+            row += shades[level]
+        rows.append(row)
+    return "\n".join(rows)
+
+
+def main() -> None:
+    spec = named_stencil("heat2d")
+    plate = np.zeros((SIZE, SIZE))
+    plate[SIZE // 3 : 2 * SIZE // 3, SIZE // 3 : 2 * SIZE // 3] = 100.0
+    grid = Grid(plate)
+
+    spider = Spider(spec)
+    print("initial plate:")
+    print(ascii_plot(grid.data))
+
+    current = grid
+    ref = grid
+    for step in range(1, STEPS + 1):
+        current = current.like(spider.run(current))
+        ref = ref.like(vectorized_stencil(spec, ref))
+        if step % CHECK_EVERY == 0:
+            err = l2_error(current.data, ref.data)
+            total = current.data.sum()
+            print(
+                f"step {step:>4}: total heat {total:10.2f} "
+                f"(SPIDER vs reference L2 err {err:.2e})"
+            )
+            assert err < 1e-12, "SPIDER diverged from the reference"
+
+    print("\nfinal plate (heat escaping through the cold boundary):")
+    print(ascii_plot(current.data))
+    assert current.data.sum() < grid.data.sum(), "heat must leak out"
+    print("\nheat decayed monotonically — SPIDER time-stepping verified.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Solve a Poisson problem with Jacobi iteration running on SPIDER,
+then accelerate a diffusion run with temporal kernel fusion.
+
+Demonstrates the two extension layers built on the core pipeline:
+pluggable solver drivers (`repro.stencil.solvers`) and temporal fusion
+(`repro.core.temporal`).
+
+Run:  python examples/poisson_solver.py
+"""
+
+import numpy as np
+
+from repro import Grid, Spider, named_stencil
+from repro.core.temporal import TemporalSpider
+from repro.stencil import run_iterations
+from repro.stencil.solvers import jacobi_poisson, power_iteration
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # ------------------------------------------------------------------
+    # 1. Poisson: -Δu = f on a 32x32 grid, zero boundaries, via Jacobi
+    #    with every smoothing sweep executed on the SPIDER pipeline.
+    # ------------------------------------------------------------------
+    rhs = rng.standard_normal((32, 32))
+    compiled = {}
+
+    def spider_executor(spec, grid):
+        sp = compiled.setdefault(spec.weights.tobytes(), Spider(spec))
+        return sp.run(grid)
+
+    result = jacobi_poisson(
+        rhs, executor=spider_executor, tol=1e-9, max_iter=20000,
+        record_history=True,
+    )
+    print(f"Jacobi/SPIDER: converged={result.converged} in "
+          f"{result.iterations} iterations, residual {result.residual:.2e}")
+    for it in (0, 99, 999, result.iterations - 1):
+        if it < len(result.residual_history):
+            print(f"  residual[{it + 1:>5}] = {result.residual_history[it]:.3e}")
+
+    # the smoother's spectral radius explains the convergence rate
+    lam = power_iteration(named_stencil("jacobi2d"), (32, 32), iters=300,
+                          executor=spider_executor)
+    print(f"smoothing factor (power iteration on SPIDER): {lam:.5f} "
+          f"(theory cos(pi/33) = {np.cos(np.pi / 33):.5f})")
+
+    # ------------------------------------------------------------------
+    # 2. Temporal fusion: 12 diffusion steps as 6 fused super-sweeps
+    # ------------------------------------------------------------------
+    spec = named_stencil("heat2d")
+    grid = Grid(np.abs(rng.standard_normal((64, 64))))
+    fused = TemporalSpider(spec, steps=2)
+    out_fused = fused.run(grid, 12)
+    out_plain, _ = run_iterations(spec, grid, 12)
+    err = float(np.max(np.abs(out_fused.data - out_plain.data)))
+    print(f"\ntemporal fusion (2-step): 12 diffusion steps, "
+          f"max error vs plain stepping = {err:.2e}")
+    print(f"modeled DRAM-traffic saving: {fused.traffic_savings():.2f}x "
+          f"(fused kernel radius {fused.fused_radius})")
+    assert err < 1e-9
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""2D acoustic wave propagation with a 4th-order star stencil on SPIDER.
+
+The second-order wave equation u_tt = c² ∇²u is integrated with the
+classic leapfrog scheme:
+
+    u(t+1) = 2 u(t) - u(t-1) + (c Δt/Δx)² L u(t)
+
+where L is the 4th-order 5x5 star Laplacian (the paper's Star-2D2R shape
+family).  The Laplacian application — the hot loop of reverse-time
+migration and seismic imaging (§1's motivating domain) — runs through
+SPIDER's SpTC pipeline each step.
+
+Run:  python examples/seismic_wave_2d.py
+"""
+
+import numpy as np
+
+from repro import Grid, Spider
+from repro.stencil import ShapeType, StencilSpec, l2_error, naive_stencil
+
+SIZE = 128
+STEPS = 120
+COURANT = 0.4  # (c dt/dx), well under the stability limit
+
+
+def laplacian_star_2d2r() -> StencilSpec:
+    """4th-order finite-difference Laplacian (Star-2D2R)."""
+    c = np.array([-1.0 / 12, 4.0 / 3, -5.0 / 2, 4.0 / 3, -1.0 / 12])
+    w = np.zeros((5, 5))
+    w[2, :] += c
+    w[:, 2] += c
+    return StencilSpec(ShapeType.STAR, 2, 2, w, "laplacian4")
+
+
+def ricker_source(size: int) -> np.ndarray:
+    """A smooth initial displacement pulse in the domain centre."""
+    x = np.linspace(-4, 4, size)
+    xx, yy = np.meshgrid(x, x, indexing="ij")
+    r2 = xx**2 + yy**2
+    return (1 - r2) * np.exp(-r2 / 2)
+
+
+def main() -> None:
+    spec = laplacian_star_2d2r()
+    spider = Spider(spec)
+    print(f"operator: {spec.benchmark_id}, {spec.num_points} star points")
+    rep = spider.compile_report()
+    print(
+        f"compiled: {rep.num_kernel_rows} kernel rows, L={rep.L}, "
+        f"width={rep.width}, 2:4 sparsity={rep.sparsity:.0%}"
+    )
+
+    u_prev = ricker_source(SIZE)
+    u_curr = u_prev.copy()  # zero initial velocity
+    factor = COURANT**2
+
+    energy0 = float(np.sum(u_curr**2))
+    for step in range(1, STEPS + 1):
+        lap = spider.run(Grid(u_curr))
+        u_next = 2 * u_curr - u_prev + factor * lap
+        u_prev, u_curr = u_curr, u_next
+        if step % 40 == 0:
+            # cross-check the Laplacian against the reference
+            err = l2_error(lap, naive_stencil(spec, Grid(u_prev)))
+            amp = float(np.abs(u_curr).max())
+            print(f"step {step:>4}: max |u| = {amp:.4f}, "
+                  f"Laplacian err vs reference = {err:.2e}")
+            assert err < 1e-12
+
+    # the wavefront must have propagated outward: the centre amplitude
+    # drops while the ring region gains energy
+    centre = abs(u_curr[SIZE // 2, SIZE // 2])
+    ring = np.abs(u_curr[SIZE // 2, :]).max()
+    print(f"\ncentre amplitude {centre:.4f}, max along centre row {ring:.4f}")
+    assert ring > centre, "wave should have moved outward"
+    print("wavefront propagated — SPIDER-powered leapfrog verified.")
+
+
+if __name__ == "__main__":
+    main()

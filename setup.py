@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the ``wheel``
+package in offline environments (metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

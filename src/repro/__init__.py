@@ -1,0 +1,30 @@
+"""SPIDER reproduction: stencil computation on Sparse Tensor Cores.
+
+Reproduces *SPIDER: Unleashing Sparse Tensor Cores for Stencil Computation
+via Strided Swapping* (PPoPP 2026) in pure Python, including an emulated
+SpTC substrate, an analytical A100 machine model, and every baseline the
+paper evaluates against.
+
+Quickstart::
+
+    from repro import Spider
+    from repro.stencil import Grid, named_stencil
+
+    spider = Spider(named_stencil("heat2d"))
+    out = spider.run(Grid.random((256, 256)))
+"""
+
+from .core import Spider, SpiderVariant
+from .stencil import Grid, ShapeType, StencilSpec, named_stencil
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Spider",
+    "SpiderVariant",
+    "Grid",
+    "ShapeType",
+    "StencilSpec",
+    "named_stencil",
+    "__version__",
+]

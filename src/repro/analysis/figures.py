@@ -1,0 +1,202 @@
+"""Series generators for the paper's figures (10, 11 and 12).
+
+Each generator returns labeled numeric series (method → values) so the
+benchmark harness can print paper-style panels and assert on shape
+properties (who wins, average factors, ramp/crossover behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines.base import PAPER_METHODS
+from ..core.pipeline import SpiderVariant
+from ..stencil.workloads import (
+    FIG12_SIZES,
+    PAPER_SHAPE_IDS,
+    Workload,
+    make_workload,
+    paper_size_sweep,
+)
+from .perfmodel import estimate_method, estimate_spider_variant
+
+__all__ = [
+    "Figure10Panel",
+    "figure10",
+    "Figure11Series",
+    "figure11",
+    "Figure12Point",
+    "figure12",
+    "format_figure10",
+    "format_figure11",
+    "format_figure12",
+]
+
+
+@dataclass(frozen=True)
+class Figure10Panel:
+    """One stencil shape's bars: method → GStencils/s, plus speedups."""
+
+    shape_id: str
+    gstencils: Dict[str, float]
+
+    @property
+    def spider(self) -> float:
+        return self.gstencils["SPIDER"]
+
+    def speedup_over(self, method: str) -> float:
+        return self.spider / self.gstencils[method]
+
+
+def figure10(seed: int = 7) -> List[Figure10Panel]:
+    """Modeled Figure 10: all methods × the 8 paper shapes at paper sizes."""
+    panels = []
+    for sid in PAPER_SHAPE_IDS:
+        wl = make_workload(sid, seed=seed)
+        vals = {
+            m: estimate_method(m, wl.spec, wl.grid_shape).gstencils
+            for m in PAPER_METHODS
+        }
+        panels.append(Figure10Panel(shape_id=sid, gstencils=vals))
+    return panels
+
+
+def format_figure10(panels: Sequence[Figure10Panel]) -> str:
+    """Render the Figure-10 panels plus average speedups as text."""
+    out = ["Figure 10: Performance Comparison (GStencils/s, modeled A100)"]
+    out.append(f"{'shape':<12}" + "".join(f"{m[:13]:>14}" for m in PAPER_METHODS))
+    for p in panels:
+        out.append(
+            f"{p.shape_id:<12}"
+            + "".join(f"{p.gstencils[m]:>14.1f}" for m in PAPER_METHODS)
+        )
+    out.append("")
+    out.append("average speedups of SPIDER (paper in parentheses):")
+    paper_avg = {
+        "cuDNN": 6.20,
+        "DRStencil": 4.71,
+        "TCStencil": 3.13,
+        "ConvStencil": 1.88,
+        "LoRAStencil": 1.63,
+        "FlashFFTStencil": 1.35,
+    }
+    for m, ref in paper_avg.items():
+        avg = float(np.mean([p.speedup_over(m) for p in panels]))
+        out.append(f"  vs {m:<18} {avg:5.2f}x  ({ref}x)")
+    return "\n".join(out)
+
+
+@dataclass(frozen=True)
+class Figure11Series:
+    """Throughput vs problem size for one shape."""
+
+    shape_id: str
+    sizes: List[int]
+    gstencils: Dict[str, List[float]]  # method -> series
+
+
+#: methods shown in Figure 11 (no FlashFFTStencil there)
+FIG11_METHODS = ["cuDNN", "DRStencil", "TCStencil", "ConvStencil", "LoRAStencil", "SPIDER"]
+
+
+def figure11(shape_id: str, seed: int = 7) -> Figure11Series:
+    """Modeled Figure 11 sweep for one of the five paper shapes
+    (1D1R, 1D2R, Box-2D1R, Box-2D2R, Box-2D3R)."""
+    workloads = paper_size_sweep(shape_id, seed=seed)
+    sizes = [wl.grid_shape[-1] for wl in workloads]
+    series: Dict[str, List[float]] = {m: [] for m in FIG11_METHODS}
+    for wl in workloads:
+        for m in FIG11_METHODS:
+            series[m].append(estimate_method(m, wl.spec, wl.grid_shape).gstencils)
+    return Figure11Series(shape_id=shape_id, sizes=sizes, gstencils=series)
+
+
+def format_figure11(series: Figure11Series) -> str:
+    """Render one Figure-11 sweep as text."""
+    out = [f"Figure 11 ({series.shape_id}): GStencils/s vs problem size"]
+    out.append(f"{'size':>10}" + "".join(f"{m[:12]:>13}" for m in FIG11_METHODS))
+    for i, n in enumerate(series.sizes):
+        out.append(
+            f"{n:>10}"
+            + "".join(f"{series.gstencils[m][i]:>13.1f}" for m in FIG11_METHODS)
+        )
+    return "\n".join(out)
+
+
+@dataclass(frozen=True)
+class Figure12Point:
+    """The ablation stack at one problem size (Box-2D2R)."""
+
+    size: int
+    tcstencil: float
+    with_tc: float
+    with_sptc: float
+    with_sptc_co: float
+
+    @property
+    def tc_gain(self) -> float:
+        return self.with_tc / self.tcstencil
+
+    @property
+    def sptc_gain(self) -> float:
+        return self.with_sptc / self.with_tc
+
+    @property
+    def co_gain(self) -> float:
+        return self.with_sptc_co / self.with_sptc
+
+    @property
+    def total_speedup(self) -> float:
+        return self.with_sptc_co / self.tcstencil
+
+
+def figure12(seed: int = 7) -> List[Figure12Point]:
+    """Modeled Figure 12: the Box-2D2R ablation at 1280²..10240²."""
+    points = []
+    for n in FIG12_SIZES:
+        wl = make_workload("Box-2D2R", (n, n), seed=seed)
+        points.append(
+            Figure12Point(
+                size=n,
+                tcstencil=estimate_method(
+                    "TCStencil", wl.spec, wl.grid_shape
+                ).gstencils,
+                with_tc=estimate_spider_variant(
+                    SpiderVariant.TC, wl.spec, wl.grid_shape
+                ).gstencils,
+                with_sptc=estimate_spider_variant(
+                    SpiderVariant.SPTC, wl.spec, wl.grid_shape
+                ).gstencils,
+                with_sptc_co=estimate_spider_variant(
+                    SpiderVariant.SPTC_CO, wl.spec, wl.grid_shape
+                ).gstencils,
+            )
+        )
+    return points
+
+
+def format_figure12(points: Sequence[Figure12Point]) -> str:
+    """Render the Figure-12 ablation stack as text."""
+    out = [
+        "Figure 12: Performance Breakdown of SPIDER with Box-2D2R "
+        "(speedups over TCStencil)"
+    ]
+    out.append(
+        f"{'size':>8}{'TCStencil':>12}{'w.TC':>10}{'w.SpTC':>10}"
+        f"{'w.SpTC+CO':>12}{'total':>9}"
+    )
+    for p in points:
+        out.append(
+            f"{p.size:>8}{p.tcstencil:>12.1f}{p.with_tc:>10.1f}"
+            f"{p.with_sptc:>10.1f}{p.with_sptc_co:>12.1f}{p.total_speedup:>8.2f}x"
+        )
+    out.append(
+        "stage gains (avg): "
+        f"w.TC {np.mean([p.tc_gain for p in points]):.2f}x (paper 1.54x), "
+        f"+SpTC {np.mean([p.sptc_gain for p in points]):.2f}x (paper 1.66x), "
+        f"+CO {np.mean([p.co_gain for p in points]):.2f}x (paper 1.08x)"
+    )
+    return "\n".join(out)

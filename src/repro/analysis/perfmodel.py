@@ -1,0 +1,331 @@
+"""Analytical performance model: costs → GStencils/s (Figures 10–12).
+
+No GPU is available in this environment, so wall-clock throughput is
+*modeled*: each method's per-point cost (the paper's own Table-1 closed
+forms, see :mod:`repro.analysis.costs`) is mapped onto the A100 machine
+model (:mod:`repro.gpu`) as
+
+    t/point = max( compute term, shared-memory term, DRAM term )
+    throughput = saturation(size) · 1 / (t/point + launch/points)
+
+* **compute term** — ``2·MACs(c=8) / (pipe peak · eff_c)``; the per-method
+  ``eff_c`` constants are *calibrated against the paper's Figure 10 bars*
+  (they absorb issue-rate limits and the paper's precision-normalization
+  convention) and are documented in :data:`CALIBRATION`.  Cross-shape and
+  cross-size behaviour then follows from the cost formulas and the
+  occupancy model, not from per-shape fitting.
+* **shared-memory term** — the Table-1 *input + parameter access* counts
+  drained through aggregate shared-memory bandwidth; this is what makes
+  large radii slower even when DRAM traffic stays near-ideal.
+* **DRAM term** — near-ideal traffic (read + write + block-halo), with the
+  L2-resident fast path for problems that fit in L2 (the paper's 1D sizes
+  fit: 10.24 M points · 2 B ≈ 20 MB < 40 MB).
+* **saturation** — the occupancy ramp of :mod:`repro.gpu.occupancy` with
+  each method's block geometry; SPIDER's deliberately large tiles give it
+  the paper's small-size handicap (§4.3).
+
+What this model is *for*: reproducing who wins, by roughly what factor,
+and where crossovers fall.  Absolute GStencils/s are anchored to the
+paper's reported scale by the calibration constants.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..baselines.base import MethodCost
+from ..core.pipeline import SpiderVariant
+from ..gpu.device import A100_80GB_PCIE, DeviceSpec, Pipe
+from ..gpu.occupancy import BlockResources, saturation_factor
+from ..gpu.timing import KernelCost
+from ..stencil.spec import ShapeType, StencilSpec
+from . import costs as _costs
+
+__all__ = [
+    "ModelParams",
+    "CALIBRATION",
+    "PerfEstimate",
+    "estimate_method",
+    "estimate_spider_variant",
+    "spider_kernel_cost",
+    "SMEM_BANDWIDTH",
+    "L2_BANDWIDTH",
+]
+
+#: aggregate shared-memory bandwidth, A100 (108 SM × 32 banks × 4 B × 1.41 GHz)
+SMEM_BANDWIDTH = 19.5e12
+#: effective L2 bandwidth for L2-resident working sets
+L2_BANDWIDTH = 5.0e12
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """Per-method model constants (see module docstring)."""
+
+    pipe: str
+    elem_bytes: int
+    #: calibrated fraction of pipe peak the inner loop sustains
+    eff_compute: float
+    #: fraction of DRAM bandwidth sustained
+    eff_dram: float = 0.85
+    #: fraction of aggregate shared-memory bandwidth sustained
+    eff_smem: float = 0.6
+    #: output-tile edge for block-level halo and occupancy accounting
+    block_tile: Tuple[int, int] = (64, 64)
+    #: threads per block
+    threads: int = 256
+    #: registers per thread (occupancy input; tuned kernels cap at 32)
+    registers: int = 32
+    #: multiplier on near-ideal DRAM traffic (layout/transformation overheads)
+    dram_factor: float = 1.0
+    #: kernel launches per sweep
+    launches: int = 1
+    #: radius-dependent quality factor (DRStencil's tuning budget)
+    tuning_decay: float = 0.0
+    #: throughput multiplier on star stencils beyond the nnz effect
+    star_bonus: float = 1.0
+    #: precision normalization applied to *reported* throughput — the
+    #: paper scales FP64 results by 4 to compare against FP16 methods
+    #: ("we scale the results by a factor of 4", §4.1)
+    norm_factor: float = 1.0
+    #: blocks needed to reach full saturation (None -> device wave size);
+    #: the SpTC implementation needs more parallelism than the dense one
+    #: ("lower achieved occupancy of our current SpTC-incorporated
+    #: implementation on small problem sizes", §4.4)
+    saturation_blocks: Optional[int] = None
+
+    def quality(self, radius: int) -> float:
+        return 1.0 / (1.0 + self.tuning_decay * (radius - 1))
+
+
+#: Calibrated per-method constants.  ``eff_compute`` anchors each method's
+#: absolute scale to Figure 10; everything else is structural.
+CALIBRATION: Dict[str, ModelParams] = {
+    "cuDNN": ModelParams(
+        pipe=Pipe.CUDA_FP64, elem_bytes=8, eff_compute=0.0263,
+        eff_dram=0.55, eff_smem=0.5, block_tile=(32, 32), threads=256,
+        dram_factor=1.2, norm_factor=4.0,
+    ),
+    "DRStencil": ModelParams(
+        pipe=Pipe.CUDA_FP64, elem_bytes=8, eff_compute=0.0228,
+        eff_dram=0.8, eff_smem=0.75, block_tile=(32, 32), threads=256,
+        tuning_decay=0.0, star_bonus=1.6, norm_factor=4.0,
+    ),
+    "TCStencil": ModelParams(
+        pipe=Pipe.TC_FP16, elem_bytes=2, eff_compute=0.0321,
+        eff_dram=0.55, eff_smem=0.45, block_tile=(16, 16), threads=128,
+        star_bonus=1.6, dram_factor=2.0,
+    ),
+    "ConvStencil": ModelParams(
+        pipe=Pipe.TC_FP64, elem_bytes=8, eff_compute=0.1661,
+        eff_dram=0.75, eff_smem=0.7, block_tile=(32, 32), threads=256,
+        dram_factor=1.8, norm_factor=4.0,
+    ),
+    "LoRAStencil": ModelParams(
+        pipe=Pipe.TC_FP64, elem_bytes=8, eff_compute=0.208,
+        eff_dram=0.8, eff_smem=0.75, block_tile=(32, 32), threads=256,
+        dram_factor=2.0, norm_factor=4.0,
+    ),
+    "FlashFFTStencil": ModelParams(
+        pipe=Pipe.TC_FP16, elem_bytes=2, eff_compute=0.1061,
+        eff_dram=0.85, eff_smem=0.7, block_tile=(64, 64), threads=256,
+        launches=3,
+    ),
+    "SPIDER": ModelParams(
+        pipe=Pipe.SPTC_FP16, elem_bytes=2, eff_compute=0.017,
+        eff_dram=0.85, eff_smem=0.7, block_tile=(64, 64), threads=256,
+    ),
+}
+
+#: ablation variants (§4.4): same structure, different datapath constants.
+#: The chain is anchored so SPTC_CO coincides with the full SPIDER model:
+#: +CO contributes eff 0.017/0.01574 ≈ 1.08× (paper: 1.08× average) and
+#: +SpTC contributes the MAC halving plus the pipe doubling at slightly
+#: lower sustained efficiency, ≈ 1.66× (paper: 1.66× average).
+VARIANT_CALIBRATION: Dict[SpiderVariant, ModelParams] = {
+    # stencil→GEMM at 50% sparsity, dense tensor cores, SPIDER's tiling
+    SpiderVariant.TC: ModelParams(
+        pipe=Pipe.TC_FP16, elem_bytes=2, eff_compute=0.0379,
+        eff_dram=0.8, eff_smem=0.65, block_tile=(64, 64), threads=256,
+    ),
+    # + strided swapping → SpTC (pre-CO: less efficient packing/selectors)
+    SpiderVariant.SPTC: ModelParams(
+        pipe=Pipe.SPTC_FP16, elem_bytes=2, eff_compute=0.01574,
+        eff_dram=0.78, eff_smem=0.63, block_tile=(64, 64), threads=256,
+        saturation_blocks=465,
+    ),
+    # + computing optimizations = the full SPIDER model
+    SpiderVariant.SPTC_CO: dataclasses.replace(
+        CALIBRATION["SPIDER"], saturation_blocks=465
+    ),
+}
+
+
+@dataclass(frozen=True)
+class PerfEstimate:
+    """Modeled throughput and its decomposition."""
+
+    gstencils: float
+    compute_s_per_point: float
+    smem_s_per_point: float
+    dram_s_per_point: float
+    saturation: float
+    bound: str
+
+    @property
+    def time_per_point(self) -> float:
+        return max(
+            self.compute_s_per_point,
+            self.smem_s_per_point,
+            self.dram_s_per_point,
+        )
+
+
+def _dram_bytes_per_point(
+    params: ModelParams, spec: StencilSpec, grid_shape: Tuple[int, ...]
+) -> float:
+    """Near-ideal DRAM traffic: one read + one write + block-tile halo."""
+    r = spec.radius
+    if len(grid_shape) == 1:
+        bt = params.block_tile[0] * params.block_tile[1]  # linear tile
+        halo = (bt + 2 * r) / bt
+    else:
+        th, tw = params.block_tile
+        halo = ((th + 2 * r) * (tw + 2 * r)) / (th * tw)
+    return params.elem_bytes * (halo + 1.0) * params.dram_factor
+
+
+def _working_set_bytes(params: ModelParams, grid_shape: Tuple[int, ...]) -> float:
+    # the streamed output does not compete for residency; the input does
+    points = float(np.prod(grid_shape))
+    return points * params.elem_bytes
+
+
+def _block_resources(params: ModelParams, spec: StencilSpec) -> BlockResources:
+    th, tw = params.block_tile
+    smem = (th + 2 * spec.radius) * (tw + 2 * spec.radius) * params.elem_bytes
+    return BlockResources(
+        threads=params.threads,
+        registers_per_thread=params.registers,
+        shared_mem_bytes=smem,
+    )
+
+
+def _num_blocks(params: ModelParams, grid_shape: Tuple[int, ...]) -> int:
+    th, tw = params.block_tile
+    if len(grid_shape) == 1:
+        return max(1, math.ceil(grid_shape[0] / (th * tw)))
+    return max(1, math.ceil(grid_shape[0] / th) * math.ceil(grid_shape[1] / tw))
+
+
+def _estimate(
+    params: ModelParams,
+    cost: MethodCost,
+    spec: StencilSpec,
+    grid_shape: Tuple[int, ...],
+    device: DeviceSpec,
+) -> PerfEstimate:
+    macs_pt, input_pt, param_pt = cost.per_point()
+
+    star = spec.shape is ShapeType.STAR and spec.dims >= 2
+    quality = params.quality(spec.radius)
+    star_gain = params.star_bonus if star else 1.0
+
+    peak = device.peak(params.pipe)
+    compute_pt = (2.0 * macs_pt) / (peak * params.eff_compute * quality * star_gain)
+
+    smem_bytes_pt = (input_pt + param_pt) * params.elem_bytes
+    smem_pt = smem_bytes_pt / (SMEM_BANDWIDTH * params.eff_smem)
+
+    dram_bytes_pt = _dram_bytes_per_point(params, spec, grid_shape)
+    # blended L2 residency: the resident fraction of the working set is
+    # served at L2 bandwidth, the rest at HBM bandwidth
+    ws = _working_set_bytes(params, grid_shape)
+    hit = min(1.0, device.l2_bytes / ws)
+    dram_bw = hit * L2_BANDWIDTH + (1.0 - hit) * device.mem_bandwidth
+    dram_pt = dram_bytes_pt / (dram_bw * params.eff_dram)
+
+    t_pt = max(compute_pt, smem_pt, dram_pt)
+    bound = ["compute", "smem", "dram"][
+        int(np.argmax([compute_pt, smem_pt, dram_pt]))
+    ]
+
+    num_blocks = _num_blocks(params, grid_shape)
+    sat = saturation_factor(device, _block_resources(params, spec), num_blocks)
+    if params.saturation_blocks is not None:
+        sat *= min(1.0, num_blocks / params.saturation_blocks)
+    points = float(np.prod(grid_shape))
+    total_s = (t_pt * points) / sat + device.launch_overhead_s * params.launches
+    return PerfEstimate(
+        gstencils=params.norm_factor * points / total_s / 1e9,
+        compute_s_per_point=compute_pt,
+        smem_s_per_point=smem_pt,
+        dram_s_per_point=dram_pt,
+        saturation=sat,
+        bound=bound,
+    )
+
+
+def estimate_method(
+    method: str,
+    spec: StencilSpec,
+    grid_shape: Tuple[int, ...],
+    device: DeviceSpec = A100_80GB_PCIE,
+    c: int = 8,
+) -> PerfEstimate:
+    """Modeled throughput of a paper method on one workload."""
+    params = CALIBRATION.get(method)
+    if params is None:
+        raise KeyError(f"no calibration for {method!r}; known: {sorted(CALIBRATION)}")
+    cost = _costs.cost_for_spec(method, spec, grid_shape, c)
+    return _estimate(params, cost, spec, grid_shape, device)
+
+
+def estimate_spider_variant(
+    variant: SpiderVariant,
+    spec: StencilSpec,
+    grid_shape: Tuple[int, ...],
+    device: DeviceSpec = A100_80GB_PCIE,
+    c: int = 8,
+) -> PerfEstimate:
+    """Modeled throughput of a SPIDER ablation stage (§4.4).
+
+    The TC variant executes the un-swapped 50%-sparse GEMM on dense tensor
+    cores, so it pays *twice* SPIDER's MACs (the zero half is computed);
+    the SpTC variants use the SPIDER cost directly.
+    """
+    params = VARIANT_CALIBRATION[variant]
+    cost = _costs.cost_for_spec("SPIDER", spec, grid_shape, c)
+    if variant is SpiderVariant.TC:
+        cost = MethodCost(
+            cost.compute_macs * 2.0,
+            cost.input_elems,
+            cost.param_elems * 2.0,  # dense kernel matrix, no compression
+            cost.output_elems,
+        )
+    return _estimate(params, cost, spec, grid_shape, device)
+
+
+def spider_kernel_cost(
+    spec: StencilSpec,
+    grid_shape: Tuple[int, ...],
+    variant: SpiderVariant = SpiderVariant.SPTC_CO,
+    c: int = 8,
+) -> KernelCost:
+    """SPIDER's cost as a :class:`~repro.gpu.timing.KernelCost` (for the
+    :meth:`repro.core.pipeline.Spider.estimated_time` convenience API)."""
+    params = VARIANT_CALIBRATION[variant]
+    cost = _costs.cost_for_spec("SPIDER", spec, grid_shape, c)
+    points = float(np.prod(grid_shape))
+    return KernelCost(
+        flops=2.0 * cost.compute_macs,
+        pipe=params.pipe,
+        dram_bytes=points * _dram_bytes_per_point(params, spec, grid_shape),
+        compute_efficiency=params.eff_compute,
+        memory_efficiency=params.eff_dram,
+    )

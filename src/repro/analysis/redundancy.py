@@ -1,0 +1,50 @@
+"""Redundancy quantification (paper §2.3).
+
+Expresses each method's computation and memory cost as a multiple of the
+theoretical lower bound, reproducing the paper's §2.3 narrative numbers
+for Box-2D3R with 8×8 tiles: computation 2.12× / 2.94× / 5.85× of the
+lower bound for ConvStencil / LoRAStencil / TCStencil; input accesses
+4.24× / 1.31× / 5.85×; parameter accesses 16.98× / 15.67× / 23.41×.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..stencil.spec import StencilSpec
+from . import costs as _costs
+
+__all__ = ["RedundancyFactors", "redundancy_factors", "SECTION_2_3_NARRATIVE"]
+
+#: the §2.3 reference numbers (Box-2D3R, c=8, TCStencil at its native tile)
+SECTION_2_3_NARRATIVE: Dict[str, Tuple[float, float, float]] = {
+    "ConvStencil": (2.12, 4.24, 16.98),
+    "LoRAStencil": (2.94, 1.31, 15.67),
+    "TCStencil": (5.85, 5.85, 23.41),
+}
+
+
+@dataclass(frozen=True)
+class RedundancyFactors:
+    """Cost multiples relative to the lower bound (1.0 == optimal)."""
+
+    compute: float
+    input_access: float
+    parameter_access: float
+
+    def as_tuple(self) -> Tuple[float, float, float]:
+        return (self.compute, self.input_access, self.parameter_access)
+
+
+def redundancy_factors(
+    method: str, spec: StencilSpec, grid_shape: Tuple[int, ...], c: int = 8
+) -> RedundancyFactors:
+    """Method cost over lower-bound cost, component-wise."""
+    mc = _costs.cost_for_spec(method, spec, grid_shape, c).per_point()
+    lb = _costs.cost_for_spec("LowerBound", spec, grid_shape, c).per_point()
+    return RedundancyFactors(
+        compute=mc[0] / lb[0],
+        input_access=mc[1] / lb[1],
+        parameter_access=mc[2] / lb[2],
+    )

@@ -1,0 +1,56 @@
+"""Evaluated stencil methods: every baseline of the paper's §4, functional
+and cost-modeled, plus the SPIDER adapter and the naive oracle."""
+
+from .base import (
+    PAPER_METHODS,
+    MethodCost,
+    StencilMethod,
+    method_registry,
+    register_method,
+)
+from .convstencil import ConvStencilMethod, toeplitz_kernel_matrix
+from .cudnn import CuDNNMethod, im2col
+from .drstencil import DRStencilMethod
+from .flashfft import FlashFFTStencilMethod
+from .lorastencil import LoRAStencilMethod, low_rank_pairs
+from .naive import NaiveMethod
+from .spider_adapter import SpiderMethod
+from .tcstencil import TCStencilMethod
+
+
+def make_method(name: str) -> StencilMethod:
+    """Instantiate a method by its paper name."""
+    registry = method_registry()
+    try:
+        return registry[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown method {name!r}; available: {sorted(registry)}"
+        ) from None
+
+
+def all_paper_methods() -> list:
+    """Fresh instances of the 7 methods in Figure-10 order."""
+    return [make_method(n) for n in PAPER_METHODS]
+
+
+__all__ = [
+    "MethodCost",
+    "StencilMethod",
+    "method_registry",
+    "register_method",
+    "ConvStencilMethod",
+    "toeplitz_kernel_matrix",
+    "CuDNNMethod",
+    "im2col",
+    "DRStencilMethod",
+    "FlashFFTStencilMethod",
+    "LoRAStencilMethod",
+    "low_rank_pairs",
+    "NaiveMethod",
+    "SpiderMethod",
+    "TCStencilMethod",
+    "PAPER_METHODS",
+    "make_method",
+    "all_paper_methods",
+]

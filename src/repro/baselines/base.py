@@ -1,0 +1,122 @@
+"""Common interface for every evaluated stencil method.
+
+Each baseline (and SPIDER itself, through an adapter) exposes:
+
+* ``run(spec, grid)`` — a *functional* implementation of the method's actual
+  algorithmic transformation, tested for equivalence against the golden
+  reference;
+* ``cost(spec, grid_shape, c)`` — the method's computation / memory cost in
+  the units of the paper's Table 1 (MAC operations and element accesses for
+  updating the grid once with ``c × c`` points per tile);
+* pipe / precision attributes consumed by the performance model.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Type
+
+import numpy as np
+
+from ..gpu.device import Pipe
+from ..stencil.grid import Grid
+from ..stencil.spec import StencilSpec
+
+__all__ = [
+    "MethodCost",
+    "StencilMethod",
+    "register_method",
+    "method_registry",
+    "PAPER_METHODS",
+]
+
+#: paper's Figure-10 method order (baselines then SPIDER)
+PAPER_METHODS = [
+    "cuDNN",
+    "DRStencil",
+    "TCStencil",
+    "ConvStencil",
+    "LoRAStencil",
+    "FlashFFTStencil",
+    "SPIDER",
+]
+
+
+@dataclass(frozen=True)
+class MethodCost:
+    """Per-sweep cost in Table-1 units.
+
+    ``compute_macs`` — multiply-accumulate operations issued (including
+    redundant zero-value work);
+    ``input_elems`` / ``param_elems`` — input and parameter elements moved
+    from global memory (after the method's tiling reuse);
+    ``output_elems`` — points written (== grid size for one sweep).
+    """
+
+    compute_macs: float
+    input_elems: float
+    param_elems: float
+    output_elems: float
+
+    def per_point(self) -> Tuple[float, float, float]:
+        """(computation, input access, parameter access) per updated point —
+        the quantities Table 2 reports."""
+        p = self.output_elems
+        return (
+            self.compute_macs / p,
+            self.input_elems / p,
+            self.param_elems / p,
+        )
+
+
+class StencilMethod(abc.ABC):
+    """One evaluated method (a paper baseline or SPIDER)."""
+
+    #: display name as used in the paper's figures
+    name: str = "method"
+    #: compute pipe the method's MACs issue on
+    pipe: str = Pipe.CUDA_FP64
+    #: storage bytes per element in the method's native precision
+    elem_bytes: int = 8
+    #: fraction of pipe peak the method's inner loop sustains
+    compute_efficiency: float = 0.6
+    #: fraction of DRAM bandwidth the method's access pattern sustains
+    memory_efficiency: float = 0.75
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def run(self, spec: StencilSpec, grid: Grid) -> np.ndarray:
+        """One functional stencil sweep."""
+
+    @abc.abstractmethod
+    def cost(
+        self, spec: StencilSpec, grid_shape: Tuple[int, ...], c: int = 8
+    ) -> MethodCost:
+        """Table-1 style cost for one sweep."""
+
+    # ------------------------------------------------------------------
+    def supports(self, spec: StencilSpec) -> bool:
+        """Whether the method can execute this stencil at all.
+
+        LoRAStencil, for instance, is "limited to symmetric stencil kernel
+        configurations" (§3.1.2) — its override rejects asymmetric kernels.
+        """
+        return spec.dims in (1, 2)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"
+
+
+_REGISTRY: Dict[str, Type[StencilMethod]] = {}
+
+
+def register_method(cls: Type[StencilMethod]) -> Type[StencilMethod]:
+    """Class decorator collecting methods for the benchmark harness."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def method_registry() -> Dict[str, Type[StencilMethod]]:
+    """Snapshot of all registered method classes, keyed by paper name."""
+    return dict(_REGISTRY)

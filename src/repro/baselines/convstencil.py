@@ -1,0 +1,98 @@
+"""ConvStencil baseline (Chen et al., PPoPP'24).
+
+ConvStencil's *stencil2row* transformation turns each kernel row into a
+banded (Toeplitz) rectangular matrix ``K ∈ R^{(2r+c) × c}`` — the upper/
+lower-triangular-looking matrices of the paper's Figure 3, over half zeros
+— and reorganizes the input into overlapping row windows so a dense GEMM
+produces ``c`` outputs per window.  Partial results accumulate across the
+``2r+1`` kernel rows (dual tessellation pairs two such passes; the cost
+model in :mod:`repro.analysis.costs` carries its published Table-1 form).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..gpu.device import Pipe
+from ..sptc.instruction import InstructionStream
+from ..stencil.grid import Grid
+from ..stencil.spec import StencilSpec
+from .base import MethodCost, StencilMethod, register_method
+from ..analysis import costs as _costs
+
+
+def toeplitz_kernel_matrix(row: np.ndarray, c: int) -> np.ndarray:
+    """The stencil2row banded matrix: ``K[p, j] = row[p - j]`` on the band.
+
+    ``(2r+c) × c`` with each column a shifted copy of the kernel row; the
+    zero fraction is ``1 - (2r+1)/(2r+c)`` — ConvStencil's inherent
+    sparsity that SPIDER's analysis (§2.3) quantifies.
+    """
+    row = np.asarray(row, dtype=np.float64).reshape(-1)
+    side = row.size
+    r = (side - 1) // 2
+    k = np.zeros((2 * r + c, c), dtype=np.float64)
+    for j in range(c):
+        k[j : j + side, j] = row
+    return k
+
+
+@register_method
+class ConvStencilMethod(StencilMethod):
+    """stencil2row GEMM on dense tensor cores (FP64 DMMA in the paper)."""
+
+    name = "ConvStencil"
+    pipe = Pipe.TC_FP64
+    elem_bytes = 8
+    compute_efficiency = 0.6
+    memory_efficiency = 0.7
+
+    def __init__(self, c: int = 8, stream: InstructionStream | None = None) -> None:
+        if c < 1:
+            raise ValueError("tile width c must be >= 1")
+        self.c = c
+        self.stream = stream or InstructionStream()
+
+    def run(self, spec: StencilSpec, grid: Grid) -> np.ndarray:
+        if spec.dims not in (1, 2):
+            raise ValueError("ConvStencil supports 1D and 2D stencils")
+        r = spec.radius
+        c = self.c
+        data = grid.data if spec.dims == 2 else grid.data.reshape(1, -1)
+        rows = spec.weights if spec.dims == 2 else spec.weights.reshape(1, -1)
+        A, B = data.shape
+        chunks = math.ceil(B / c)
+        padded = grid.padded(r)
+        if spec.dims == 1:
+            padded = padded.reshape(1, -1)
+        need = chunks * c + 2 * r
+        if padded.shape[1] < need:
+            padded = np.pad(padded, [(0, 0), (0, need - padded.shape[1])])
+        out = np.zeros((A, chunks * c), dtype=np.float64)
+        win = 2 * r + c
+        for q in range(rows.shape[0]):
+            kmat = toeplitz_kernel_matrix(rows[q], c)  # (2r+c, c)
+            src = padded[q : q + A] if spec.dims == 2 else padded
+            # windows[(y, t)] = src[y, t*c : t*c + 2r + c]
+            windows = sliding_window_view(src, win, axis=1)[:, ::c][:, :chunks]
+            x = windows.reshape(-1, win)  # (A*chunks, 2r+c)
+            y = x @ kmat  # dense GEMM; each row yields c outputs
+            issues = (
+                -(-x.shape[0] // 16) * -(-c // 8) * -(-win // 16)
+            )
+            self.stream.emit("mma", "m16n8k16", count=issues)
+            out += y.reshape(A, chunks * c)
+        out = out[:, :B]
+        return out if spec.dims == 2 else out.reshape(grid.shape)
+
+    def cost(
+        self, spec: StencilSpec, grid_shape: Tuple[int, ...], c: int = 8
+    ) -> MethodCost:
+        return _costs.cost_for_spec("ConvStencil", spec, grid_shape, c)
+
+    def supports(self, spec: StencilSpec) -> bool:
+        return spec.dims in (1, 2)

@@ -1,0 +1,103 @@
+"""LoRAStencil baseline (Zhang et al., SC'24).
+
+LoRAStencil assumes *symmetric* stencil kernels and applies a low-rank
+decomposition: the ``(2r+1)²`` kernel becomes a sum of outer-product vector
+pairs ``W = Σ_k σ_k u_k v_kᵀ`` (at most ``r+1`` numerically distinct pairs
+for centro-symmetric kernels).  Each pair turns the 2D stencil into two 1D
+GEMM passes (*Residual Dimension Gathering*), slashing parameter traffic —
+LoRAStencil is the strongest baseline on input access (Table 2) but is
+"limited to symmetric stencil kernel configurations" (§3.1.2), which
+:meth:`supports` enforces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..gpu.device import Pipe
+from ..sptc.instruction import InstructionStream
+from ..stencil.grid import Grid
+from ..stencil.spec import StencilSpec
+from .base import MethodCost, StencilMethod, register_method
+from ..analysis import costs as _costs
+
+
+def low_rank_pairs(
+    weights: np.ndarray, tol: float = 1e-12
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """SVD factor pairs ``(u·σ, v)`` with negligible components dropped."""
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 2 or w.shape[0] != w.shape[1]:
+        raise ValueError("low-rank decomposition applies to square 2D kernels")
+    u, s, vt = np.linalg.svd(w)
+    pairs = []
+    cutoff = tol * max(s[0], 1.0) if s.size else 0.0
+    for k in range(s.size):
+        if s[k] <= cutoff:
+            break
+        pairs.append((u[:, k] * s[k], vt[k, :]))
+    return pairs
+
+
+def _pass_1d(lines: np.ndarray, vec: np.ndarray, r: int) -> np.ndarray:
+    """One 1D GEMM pass: correlate every line with ``vec`` (length 2r+1).
+
+    Implemented as a windows-matrix times vector product — the GEMM shape
+    Residual Dimension Gathering builds.
+    """
+    padded = np.pad(lines, [(0, 0), (r, r)])
+    windows = sliding_window_view(padded, vec.size, axis=1)  # (rows, n, 2r+1)
+    return windows @ vec
+
+
+@register_method
+class LoRAStencilMethod(StencilMethod):
+    """Symmetric low-rank stencil on dense tensor cores (FP64 in the paper)."""
+
+    name = "LoRAStencil"
+    pipe = Pipe.TC_FP64
+    elem_bytes = 8
+    compute_efficiency = 0.65
+    memory_efficiency = 0.8
+
+    def __init__(self, stream: InstructionStream | None = None) -> None:
+        self.stream = stream or InstructionStream()
+        self.last_rank: int | None = None
+
+    def run(self, spec: StencilSpec, grid: Grid) -> np.ndarray:
+        if not self.supports(spec):
+            raise ValueError(
+                "LoRAStencil requires a symmetric 1D/2D stencil kernel"
+            )
+        r = spec.radius
+        if spec.dims == 1:
+            self.last_rank = 1
+            out = _pass_1d(grid.data.reshape(1, -1), spec.weights, r)
+            self._count_issues(grid.num_points, r, passes=1)
+            return out.reshape(grid.shape)
+        pairs = low_rank_pairs(spec.weights)
+        self.last_rank = len(pairs)
+        out = np.zeros_like(grid.data)
+        for u_vec, v_vec in pairs:
+            tmp = _pass_1d(grid.data, v_vec, r)  # row pass (x direction)
+            outt = _pass_1d(tmp.T, u_vec, r)  # column pass (y direction)
+            out += outt.T
+        self._count_issues(grid.num_points, r, passes=2 * len(pairs))
+        return out
+
+    def _count_issues(self, points: int, r: int, passes: int) -> None:
+        # each pass is a GEMM of (points, 2r+1) windows by a vector batch
+        issues = passes * -(-points // (16 * 8)) * -(-(2 * r + 1) // 16)
+        self.stream.emit("mma", "m16n8k16", count=issues)
+
+    def cost(
+        self, spec: StencilSpec, grid_shape: Tuple[int, ...], c: int = 8
+    ) -> MethodCost:
+        return _costs.cost_for_spec("LoRAStencil", spec, grid_shape, c)
+
+    def supports(self, spec: StencilSpec) -> bool:
+        return spec.dims in (1, 2) and spec.is_symmetric

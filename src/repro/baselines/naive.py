@@ -1,0 +1,44 @@
+"""Pointwise reference wrapped as a :class:`StencilMethod`.
+
+Not a paper baseline — the golden oracle, exposed through the common
+interface so harness code can treat it uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..gpu.device import Pipe
+from ..stencil.grid import Grid
+from ..stencil.reference import naive_stencil
+from ..stencil.spec import StencilSpec
+from .base import MethodCost, StencilMethod, register_method
+
+
+@register_method
+class NaiveMethod(StencilMethod):
+    """Scalar pointwise stencil (the correctness oracle)."""
+
+    name = "Naive"
+    pipe = Pipe.CUDA_FP64
+    elem_bytes = 8
+    compute_efficiency = 0.15  # scalar, no ILP/tiling
+    memory_efficiency = 0.3
+
+    def run(self, spec: StencilSpec, grid: Grid) -> np.ndarray:
+        return naive_stencil(spec, grid)
+
+    def cost(
+        self, spec: StencilSpec, grid_shape: Tuple[int, ...], c: int = 8
+    ) -> MethodCost:
+        n = 1
+        for s in grid_shape:
+            n *= s
+        foot = spec.num_points
+        # no reuse: every point re-reads its whole neighbourhood
+        return MethodCost(n * foot, n * foot, n * foot, n)
+
+    def supports(self, spec: StencilSpec) -> bool:
+        return True

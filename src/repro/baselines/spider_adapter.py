@@ -1,0 +1,49 @@
+"""SPIDER exposed through the common :class:`StencilMethod` interface,
+so the benchmark harness can iterate over all methods uniformly."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core.pipeline import Spider, SpiderVariant
+from ..gpu.device import Pipe
+from ..stencil.grid import Grid
+from ..stencil.spec import StencilSpec
+from .base import MethodCost, StencilMethod, register_method
+from ..analysis import costs as _costs
+
+
+@register_method
+class SpiderMethod(StencilMethod):
+    """SPIDER (strided swapping + SpTC), FP16 sparse tensor cores."""
+
+    name = "SPIDER"
+    pipe = Pipe.SPTC_FP16
+    elem_bytes = 2
+    compute_efficiency = 0.7
+    memory_efficiency = 0.85
+
+    def __init__(self, variant: SpiderVariant = SpiderVariant.SPTC_CO) -> None:
+        self.variant = variant
+        self._compiled: Dict[bytes, Spider] = {}
+
+    def _spider_for(self, spec: StencilSpec) -> Spider:
+        key = spec.weights.tobytes()
+        sp = self._compiled.get(key)
+        if sp is None:
+            sp = Spider(spec, variant=self.variant)
+            self._compiled[key] = sp
+        return sp
+
+    def run(self, spec: StencilSpec, grid: Grid) -> np.ndarray:
+        return self._spider_for(spec).run(grid)
+
+    def cost(
+        self, spec: StencilSpec, grid_shape: Tuple[int, ...], c: int = 8
+    ) -> MethodCost:
+        return _costs.cost_for_spec("SPIDER", spec, grid_shape, c)
+
+    def supports(self, spec: StencilSpec) -> bool:
+        return True

@@ -1,0 +1,104 @@
+"""TCStencil baseline (Liu et al., ICS'22): stencils on dense Tensor Cores.
+
+The pioneering *stencil kernel decomposition* design (paper §2.2,
+Figure 2b): each stencil-kernel row is replicated ``L − 2r`` times along
+the diagonal of an ``L × L`` matrix, so one GEMM performs ``L − 2r``
+simultaneous updates; partial results accumulate across kernel rows.
+``L = 16`` matches the tensor-core tile.  The scheme's zero-padding charges
+``L³(2r+1)/(L−2r)²`` MACs per point (Table 1) — the highest redundancy of
+the evaluated methods, which is exactly why it anchors the ablation study.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..gpu.device import Pipe
+from ..sptc.instruction import InstructionStream
+from ..stencil.grid import Grid
+from ..stencil.spec import StencilSpec
+from .base import MethodCost, StencilMethod, register_method
+from ..analysis import costs as _costs
+
+
+@register_method
+class TCStencilMethod(StencilMethod):
+    """Row-replication GEMM on dense tensor cores (FP16 in the paper)."""
+
+    name = "TCStencil"
+    pipe = Pipe.TC_FP16
+    elem_bytes = 2
+    compute_efficiency = 0.5
+    memory_efficiency = 0.55
+
+    #: tensor-core tile edge; fixed by the method's design
+    L: int = 16
+
+    def __init__(self, stream: InstructionStream | None = None) -> None:
+        self.stream = stream or InstructionStream()
+
+    # ------------------------------------------------------------------
+    def _build_matrix(self, row: np.ndarray, L: int, U: int) -> np.ndarray:
+        """(L, L) matrix: the row replicated along the diagonal U times."""
+        m = np.zeros((L, L), dtype=np.float64)
+        for i in range(U):
+            m[i, i : i + row.size] = row
+        return m
+
+    def run(self, spec: StencilSpec, grid: Grid) -> np.ndarray:
+        if spec.dims not in (1, 2):
+            raise ValueError("TCStencil supports 1D and 2D stencils")
+        r = spec.radius
+        L = self.L
+        U = L - 2 * r
+        if U <= 0:
+            raise ValueError(
+                f"TCStencil's fixed L = {L} cannot host radius {r} (needs L > 2r)"
+            )
+        data = grid.data if spec.dims == 2 else grid.data.reshape(1, -1)
+        rows = (
+            spec.weights
+            if spec.dims == 2
+            else spec.weights.reshape(1, -1)
+        )
+        A, B = data.shape
+        chunks = math.ceil(B / U)
+        padded = np.pad(
+            grid.padded(r) if spec.dims == 2 else grid.padded(r).reshape(1, -1),
+            [(0, 0), (0, chunks * U + L - (B + 2 * r))]
+            if chunks * U + L > B + 2 * r
+            else [(0, 0), (0, 0)],
+        )
+        out = np.zeros((A, chunks * U), dtype=np.float64)
+        n_rows = rows.shape[0]
+        y_halo = r if spec.dims == 2 else 0
+        for q in range(n_rows):
+            m = self._build_matrix(rows[q], L, U)
+            src = padded[q : q + A] if spec.dims == 2 else padded
+            # X[j, (y, c)] = src[y, c*U + j]
+            windows = sliding_window_view(src, L, axis=1)[:, ::U][:, :chunks]
+            x = windows.transpose(2, 0, 1).reshape(L, -1)
+            y = m @ x  # dense tensor-core GEMM
+            issues = -(-L // 16) * -(-x.shape[1] // 8) * -(-L // 16)
+            self.stream.emit("mma", "m16n8k16", count=issues)
+            out += (
+                y[:U]
+                .reshape(U, A, chunks)
+                .transpose(1, 2, 0)
+                .reshape(A, chunks * U)
+            )
+        out = out[:, :B]
+        return out if spec.dims == 2 else out.reshape(grid.shape)
+
+    # ------------------------------------------------------------------
+    def cost(
+        self, spec: StencilSpec, grid_shape: Tuple[int, ...], c: int = 8
+    ) -> MethodCost:
+        return _costs.cost_for_spec("TCStencil", spec, grid_shape, c)
+
+    def supports(self, spec: StencilSpec) -> bool:
+        return spec.dims in (1, 2) and self.L > 2 * spec.radius

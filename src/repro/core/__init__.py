@@ -1,0 +1,83 @@
+"""SPIDER core: the paper's contribution (§3)."""
+
+from .cost import SpiderCost, spider_cost
+from .encoding import EncodedKernelRow, encode_kernel_row, structural_compress
+from .executor import FaithfulRunReport, SpiderExecutor
+from .kernel_matrix import (
+    K_ALIGN,
+    build_kernel_matrix,
+    choose_L,
+    kernel_matrix_sparsity,
+    logical_width,
+    padded_width,
+    structural_mask,
+)
+from .packing import (
+    PackedKernelMatrix,
+    kernel_load_audit,
+    pack_kernel_tiles,
+    plan_metadata_packing,
+    unpack_kernel_tiles,
+)
+from .pipeline import CompileReport, Spider, SpiderVariant
+from .row_swap import (
+    RowSwapStrategy,
+    baseline_offset_expr,
+    baseline_row_offset_fn,
+    offset_table,
+    strategy_for,
+    swapped_offset_expr,
+    swapped_row_offset_fn,
+)
+from .swapping import (
+    apply_column_swap,
+    apply_row_swap,
+    strided_permutation,
+    swap_displacement,
+)
+from .autotune import TuneResult, autotune_tile_plan, candidate_plans
+from .temporal import TemporalSpider, fuse_kernel
+from .tiling import TilePlan, make_tile_plan
+
+__all__ = [
+    "SpiderCost",
+    "spider_cost",
+    "EncodedKernelRow",
+    "encode_kernel_row",
+    "structural_compress",
+    "FaithfulRunReport",
+    "SpiderExecutor",
+    "K_ALIGN",
+    "build_kernel_matrix",
+    "choose_L",
+    "kernel_matrix_sparsity",
+    "logical_width",
+    "padded_width",
+    "structural_mask",
+    "PackedKernelMatrix",
+    "kernel_load_audit",
+    "pack_kernel_tiles",
+    "plan_metadata_packing",
+    "unpack_kernel_tiles",
+    "CompileReport",
+    "Spider",
+    "SpiderVariant",
+    "RowSwapStrategy",
+    "baseline_offset_expr",
+    "baseline_row_offset_fn",
+    "offset_table",
+    "strategy_for",
+    "swapped_offset_expr",
+    "swapped_row_offset_fn",
+    "apply_column_swap",
+    "apply_row_swap",
+    "strided_permutation",
+    "swap_displacement",
+    "TuneResult",
+    "autotune_tile_plan",
+    "candidate_plans",
+    "TemporalSpider",
+    "fuse_kernel",
+    "TilePlan",
+    "make_tile_plan",
+]

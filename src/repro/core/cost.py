@@ -1,0 +1,59 @@
+"""SPIDER's analytical cost model (paper §3.1.2, *Quantitative Analysis*).
+
+Closed forms for computation operations and input/parameter memory access
+of SPIDER, normalized per the paper's convention: a ``c × c`` output tile,
+Box-2D stencil of radius ``r`` on an ``A × B`` grid.
+
+The arXiv rendering of ceiling brackets is ambiguous; every term here is
+calibrated so that the Box-2D3R, ``c = 8`` instance reproduces the paper's
+Table 2 row for SPIDER **exactly**: computation 56, input access 14,
+parameter access 7 (per updated point).  Concretely the computation term
+uses the raw ``(2r+c)/4`` (14/4 = 3.5) while the memory terms use
+``⌈(2r+c)/4⌉`` — the combination consistent with the published numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["SpiderCost", "spider_cost"]
+
+
+def _ceil_div(a: float, b: float) -> int:
+    return int(math.ceil(a / b))
+
+
+@dataclass(frozen=True)
+class SpiderCost:
+    """Total costs over an ``A × B`` sweep (element counts, not bytes)."""
+
+    compute_ops: float
+    input_access: float
+    parameter_access: float
+    points: int
+
+    @property
+    def per_point(self) -> "SpiderCost":
+        return SpiderCost(
+            self.compute_ops / self.points,
+            self.input_access / self.points,
+            self.parameter_access / self.points,
+            1,
+        )
+
+
+def spider_cost(A: int, B: int, r: int, c: int = 8) -> SpiderCost:
+    """SPIDER_C / SPIDER_I / SPIDER_P of §3.1.2.
+
+    ``SPIDER_C = 256·(AB/c²)·(r+1)·⌈c/8⌉²·((2r+c)/4)``
+    ``SPIDER_I =  32·(AB/c²)·(2r+1)·⌈c/8⌉·⌈(2r+c)/4⌉``
+    ``SPIDER_P =  16·(AB/c²)·(2r+1)·⌈c/8⌉·⌈(2r+c)/4⌉``
+    """
+    if A < 1 or B < 1 or r < 1 or c < 1:
+        raise ValueError("A, B, r, c must all be >= 1")
+    tiles = A * B / (c * c)
+    comp = 256.0 * tiles * (r + 1) * _ceil_div(c, 8) ** 2 * ((2 * r + c) / 4.0)
+    inp = 32.0 * tiles * (2 * r + 1) * _ceil_div(c, 8) * _ceil_div(2 * r + c, 4)
+    par = 16.0 * tiles * (2 * r + 1) * _ceil_div(c, 8) * _ceil_div(2 * r + c, 4)
+    return SpiderCost(comp, inp, par, A * B)

@@ -1,0 +1,359 @@
+"""Functional SPIDER execution on the SpTC emulator.
+
+Two execution paths with identical semantics:
+
+* :class:`SpiderExecutor` ``.run()`` — the vectorized *fast path*: builds the
+  input matrix ``X`` per kernel row through strided views, applies the row
+  permutation during construction (mirroring the zero-cost addressing fold),
+  and multiplies with :func:`repro.sptc.mma_sp.sparse_matmul` — the same
+  select-then-MAC datapath as the hardware, whole-matrix at a time.
+* ``.run_faithful()`` — the warp-level path: shared-memory tiles, per-lane
+  B-fragment loads through the swapped offset functions, metadata registers,
+  sparsity selectors and ``mma.sp.m16n8k16`` issues.  Slow; used by the test
+  suite and the Table-3 experiment.
+
+Both paths support every stencil the substrate can express (1D/2D/3D,
+star/box, any radius) because the transformation is rule-based and shape
+agnostic (§3.1.2: "does not require the stencil kernel to follow a
+particular shape or numerical pattern").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..gpu.memory import AccessAudit, audit_warp_access
+from ..sptc.formats import Sparse24Matrix
+from ..sptc.instruction import InstructionStream
+from ..sptc.mma import MmaPrecision
+from ..sptc.mma_sp import mma_sp_lanewise, sparse_matmul, synthesize_metadata_registers
+from ..sptc.warp import Warp
+from ..stencil.grid import Grid
+from ..stencil.spec import StencilSpec
+from .encoding import EncodedKernelRow, encode_kernel_row
+from .row_swap import baseline_row_offset_fn, swapped_row_offset_fn
+
+__all__ = ["SpiderExecutor", "FaithfulRunReport"]
+
+
+def _kernel_row_table(spec: StencilSpec) -> Tuple[np.ndarray, Tuple[int, ...]]:
+    """Kernel rows plus the leading-axis offsets each row applies at.
+
+    Returns ``(rows, lead_radius)`` where ``rows`` has shape
+    ``(n_rows, 2r+1)`` and row ``q`` applies at leading-axis offset(s)
+    ``unravel(q) - lead_radius``.
+    """
+    side = spec.side
+    if spec.dims == 1:
+        return spec.weights.reshape(1, side), ()
+    if spec.dims == 2:
+        return spec.weights.reshape(side, side), (spec.radius,)
+    return spec.weights.reshape(side * side, side), (spec.radius, spec.radius)
+
+
+@dataclass
+class FaithfulRunReport:
+    """Artifacts of a warp-level run (for Table 3 and the test oracle)."""
+
+    output: np.ndarray
+    stream: InstructionStream
+    smem_audit: AccessAudit
+
+    @property
+    def mma_sp_issues(self) -> int:
+        return self.stream.count("mma.sp")
+
+    @property
+    def lds_issues(self) -> int:
+        return self.stream.count("lds")
+
+
+class SpiderExecutor:
+    """Compiled SPIDER pipeline for one stencil spec.
+
+    Parameters
+    ----------
+    spec:
+        The stencil to execute.
+    precision:
+        ``"exact"`` (float64; bitwise-comparable to the reference) or
+        ``"fp16"`` (hardware-like numerics).
+    use_sptc:
+        True — strided-swapped kernel + ``mma.sp`` semantics (SPIDER);
+        False — unswapped dense kernel matrix + dense ``mma`` semantics
+        (the ablation variant *SPIDER w. TC*, §4.4).
+    batch_rows:
+        Leading-dimension batching of the fast path's X construction, to
+        bound peak memory on large grids.
+    """
+
+    def __init__(
+        self,
+        spec: StencilSpec,
+        precision: str = MmaPrecision.EXACT,
+        *,
+        use_sptc: bool = True,
+        batch_rows: int = 512,
+    ) -> None:
+        self.spec = spec
+        self.precision = MmaPrecision.validate(precision)
+        self.use_sptc = use_sptc
+        self.batch_rows = int(batch_rows)
+        if self.batch_rows < 1:
+            raise ValueError("batch_rows must be >= 1")
+        self.stream = InstructionStream()
+
+        rows, self._lead_radius = _kernel_row_table(spec)
+        self._rows = rows
+        # AOT compilation: encode every kernel row once (offline, §3.1.2)
+        self._encoded: List[EncodedKernelRow] = [
+            encode_kernel_row(rows[q]) for q in range(rows.shape[0])
+        ]
+        enc0 = self._encoded[0]
+        self.L = enc0.L
+        self.width = enc0.width
+        self.permutation = enc0.permutation
+
+    # ------------------------------------------------------------------
+    # Fast path
+    # ------------------------------------------------------------------
+    def run(self, grid: Grid) -> np.ndarray:
+        """One stencil sweep; returns the updated interior."""
+        if grid.dims != self.spec.dims:
+            raise ValueError(
+                f"{self.spec.dims}D executor got a {grid.dims}D grid"
+            )
+        data2d, lead_shape, n = self._as_lines(grid)
+        out2d = np.zeros_like(data2d)
+        padded = self._pad_lines(grid)
+        r = self.spec.radius
+        L, W = self.L, self.width
+        chunks = math.ceil(n / L)
+        npad = chunks * L
+
+        # right-pad the line direction so every chunk's window exists
+        need = npad - L + W
+        extra = need - padded.shape[-1]
+        if extra > 0:
+            pad_spec = [(0, 0)] * (padded.ndim - 1) + [(0, extra)]
+            padded = np.pad(padded, pad_spec)
+
+        n_lines = int(np.prod(lead_shape)) if lead_shape else 1
+        lines_view = padded.reshape(-1, padded.shape[-1])
+
+        for q in range(self._rows.shape[0]):
+            enc = self._encoded[q]
+            lead_off = self._lead_offsets(q)
+            for l0 in range(0, n_lines, self.batch_rows):
+                l1 = min(l0 + self.batch_rows, n_lines)
+                src = self._gather_source_lines(
+                    lines_view, lead_shape, lead_off, l0, l1
+                )
+                # X[j, (line, c)] = src[line, c*L + j]
+                windows = sliding_window_view(src, W, axis=1)[:, ::L, :]
+                windows = windows[:, :chunks, :]
+                x = windows.transpose(2, 0, 1).reshape(W, -1)
+                y = self._gemm(enc, x)  # (L, lines*chunks)
+                y = (
+                    y.reshape(L, l1 - l0, chunks)
+                    .transpose(1, 2, 0)
+                    .reshape(l1 - l0, npad)[:, :n]
+                )
+                out2d[l0:l1] += y
+        return out2d.reshape(grid.shape) if self.precision == MmaPrecision.EXACT else out2d.reshape(grid.shape).astype(np.float32)
+
+    # -- helpers --------------------------------------------------------
+    def _as_lines(self, grid: Grid) -> Tuple[np.ndarray, Tuple[int, ...], int]:
+        """View the grid as (lines, n): leading dims flattened."""
+        shape = grid.shape
+        n = shape[-1]
+        lead_shape = shape[:-1]
+        return grid.data.reshape(-1, n).astype(np.float64), lead_shape, n
+
+    def _pad_lines(self, grid: Grid) -> np.ndarray:
+        """BC-pad: radius r on every axis except structural x-pad (added later)."""
+        return grid.padded(self.spec.radius)
+
+    def _lead_offsets(self, q: int) -> Tuple[int, ...]:
+        """Leading-axis offsets (0-based into the padded array) for row q."""
+        if self.spec.dims == 1:
+            return ()
+        if self.spec.dims == 2:
+            return (q,)
+        side = self.spec.side
+        return (q // side, q % side)
+
+    def _gather_source_lines(
+        self,
+        lines_view: np.ndarray,
+        lead_shape: Tuple[int, ...],
+        lead_off: Tuple[int, ...],
+        l0: int,
+        l1: int,
+    ) -> np.ndarray:
+        """Rows of the padded array feeding output lines [l0, l1) for one
+        kernel row: padded line index = interior index + per-axis offset."""
+        if not lead_shape:
+            return lines_view[0:1]
+        # padded leading geometry
+        r = self.spec.radius
+        pad_lead = tuple(s + 2 * r for s in lead_shape)
+        idx = np.arange(l0, l1)
+        coords = np.unravel_index(idx, lead_shape)
+        flat = np.zeros_like(idx)
+        stride = 1
+        padded_coords = [c + o for c, o in zip(coords, lead_off)]
+        for dim in reversed(range(len(pad_lead))):
+            flat = flat + padded_coords[dim] * stride
+            stride *= pad_lead[dim]
+        return lines_view[flat]
+
+    def _gemm(self, enc: EncodedKernelRow, x: np.ndarray) -> np.ndarray:
+        """K @ X through the selected datapath (sparse or dense ablation)."""
+        if self.use_sptc:
+            x_perm = x[enc.permutation]
+            return sparse_matmul(
+                enc.sparse, x_perm, precision=self.precision, stream=self.stream
+            )
+        dense = enc.dense_unswapped
+        if self.precision == MmaPrecision.FP16:
+            d = dense.astype(np.float16).astype(np.float32) @ x.astype(
+                np.float16
+            ).astype(np.float32)
+        else:
+            d = dense @ x
+        issues = (
+            -(-dense.shape[0] // 16) * -(-x.shape[1] // 8) * -(-dense.shape[1] // 16)
+        )
+        self.stream.emit("mma", "m16n8k16", count=issues)
+        return d
+
+    # ------------------------------------------------------------------
+    # Faithful warp-level path
+    # ------------------------------------------------------------------
+    def run_faithful(
+        self, grid: Grid, *, apply_row_swap: bool = True
+    ) -> FaithfulRunReport:
+        """Warp-level emulated sweep (small grids only).
+
+        ``apply_row_swap=False`` runs the *without row swapping* kernel of
+        Table 3: identical workload and addressing structure, but loading
+        from an explicitly pre-permuted shared-memory tile with baseline
+        offsets (the explicit-copy alternative §3.2 argues against).  Both
+        settings produce the correct result; what Table 3 compares is their
+        cost, which the report captures.
+        """
+        if grid.num_points > 1 << 16:
+            raise ValueError(
+                "the faithful path is an emulator oracle; use grids of at "
+                "most 65536 points"
+            )
+        data2d, lead_shape, n = self._as_lines(grid)
+        out2d = np.zeros((data2d.shape[0], n), dtype=np.float64)
+        padded = self._pad_lines(grid)
+        L, W = self.L, self.width
+        chunks = math.ceil(n / L)
+        npad = chunks * L
+        need = npad - L + W
+        extra = need - padded.shape[-1]
+        if extra > 0:
+            pad_spec = [(0, 0)] * (padded.ndim - 1) + [(0, extra)]
+            padded = np.pad(padded, pad_spec)
+        lines_view = padded.reshape(-1, padded.shape[-1])
+        n_lines = data2d.shape[0]
+
+        stream = InstructionStream()
+        audit = AccessAudit(0, 0, 0, 0)
+        warp = Warp(stream=stream)
+
+        for q in range(self._rows.shape[0]):
+            enc = self._encoded[q]
+            lead_off = self._lead_offsets(q)
+            src = self._gather_source_lines(
+                lines_view, lead_shape, lead_off, 0, n_lines
+            )
+            windows = sliding_window_view(src, W, axis=1)[:, ::L, :]
+            windows = windows[:, :chunks, :]
+            x = windows.transpose(2, 0, 1).reshape(W, -1)  # "shared memory"
+            if apply_row_swap:
+                smem = x
+            else:
+                smem = x[enc.permutation]  # explicit pre-permuted copy
+                stream.emit(
+                    "sts", "row_swap_copy", count=x.shape[0], nbytes=x.nbytes
+                )
+            y, tile_audit = self._gemm_lanewise(
+                enc, smem, warp, swapped=apply_row_swap
+            )
+            audit = audit.merge(tile_audit)
+            y = (
+                y.reshape(L, n_lines, chunks)
+                .transpose(1, 2, 0)
+                .reshape(n_lines, npad)[:, :n]
+            )
+            out2d += y
+        return FaithfulRunReport(
+            output=out2d.reshape(grid.shape), stream=stream, smem_audit=audit
+        )
+
+    def _k_tile(self, enc: EncodedKernelRow, kk: int) -> Sparse24Matrix:
+        """Compressed (16-row padded) A tile for mma.sp invocation kk."""
+        vals = enc.sparse.values[:, 8 * kk : 8 * kk + 8]
+        poss = enc.sparse.positions[:, 8 * kk : 8 * kk + 8]
+        m = vals.shape[0]
+        if m < 16:
+            vals = np.vstack([vals, np.zeros((16 - m, 8), dtype=vals.dtype)])
+            pad_pos = np.tile(
+                np.array([0, 1], dtype=np.uint8), (16 - m, 4)
+            )
+            poss = np.vstack([poss, pad_pos])
+        return Sparse24Matrix(vals, poss, 16)
+
+    def _gemm_lanewise(
+        self,
+        enc: EncodedKernelRow,
+        smem: np.ndarray,
+        warp: Warp,
+        *,
+        swapped: bool,
+    ) -> Tuple[np.ndarray, AccessAudit]:
+        if not self.use_sptc:
+            raise ValueError("the faithful path emulates the SpTC variant")
+        L, W = enc.L, enc.width
+        c_total = smem.shape[1]
+        num_k_tiles = W // 16
+        y = np.zeros((16, c_total), dtype=np.float64)
+        audit = AccessAudit(0, 0, 0, 0)
+        selector = 0
+        for n0 in range(0, c_total, 8):
+            acc = np.zeros((32, 4), dtype=np.float64)
+            for kk in range(num_k_tiles):
+                a_tile = self._k_tile(enc, kk)
+                if swapped:
+                    offset_fn = swapped_row_offset_fn(enc.radius, kk, L)
+                else:
+                    offset_fn = baseline_row_offset_fn(kk)
+                regs, addrs = warp.load_b_fragment(
+                    smem, k_base=0, n_base=n0, row_offset_fn=offset_fn
+                )
+                audit = audit.merge(audit_warp_access(addrs, elem_bytes=2))
+                meta = synthesize_metadata_registers(a_tile, selector)
+                acc = mma_sp_lanewise(
+                    a_tile,
+                    regs,
+                    acc,
+                    metadata_regs=meta,
+                    selector=selector,
+                    precision=self.precision,
+                    stream=warp.stream,
+                )
+            tile = np.zeros((16, 8), dtype=np.float64)
+            warp.store_acc_fragment(tile, acc, m_base=0, n_base=0)
+            n_hi = min(n0 + 8, c_total)
+            y[:, n0:n_hi] += tile[:, : n_hi - n0]
+        return y[:L], audit

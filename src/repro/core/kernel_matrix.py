@@ -1,0 +1,115 @@
+"""Kernel-matrix construction (paper §3.1.1, Figure 4).
+
+One stencil-kernel row ``w`` of length ``2r+1`` becomes the matrix
+``K ∈ R^{L×(2r+L)}`` with ``K[i, i:i+2r+1] = w`` — the row repeated ``L``
+times along the diagonal.  The stencil update of ``L×C`` points is then
+``Y = K · X`` with ``X ∈ R^{(2r+L)×C}`` holding the points plus their
+``r``-radius neighbourhood.
+
+Sparsity is ``1 - (2r+1)/(2r+L)``; choosing ``L = 2r+2`` pins it at exactly
+50% — the SpTC sweet spot (§3.1.1's "set L = 2r+2 to satisfy the sparsity
+ratio requirement while maximizing hardware utilization").
+
+The matrix is finally zero-padded on the right to :func:`padded_width`
+(the next multiple of the instruction k-granularity, and always at least
+``2L`` so the strided swap has room — the paper pads 8×14 → 8×16 for r=3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "choose_L",
+    "logical_width",
+    "padded_width",
+    "build_kernel_matrix",
+    "structural_mask",
+    "kernel_matrix_sparsity",
+]
+
+#: instruction k-granularity the padded width aligns to (mma.sp.m16n8k16)
+K_ALIGN = 16
+
+
+def choose_L(radius: int) -> int:
+    """The paper's choice ``L = 2r + 2`` (exactly 50% sparsity)."""
+    if radius < 1:
+        raise ValueError("radius must be >= 1")
+    return 2 * radius + 2
+
+
+def logical_width(radius: int, L: int | None = None) -> int:
+    """Unpadded kernel-matrix width ``2r + L``."""
+    L = choose_L(radius) if L is None else L
+    return 2 * radius + L
+
+
+def padded_width(radius: int, L: int | None = None, align: int = K_ALIGN) -> int:
+    """Width after right zero-padding.
+
+    The next multiple of ``align`` at or above ``2r+L``; with ``L = 2r+2``
+    this is always >= ``2L``, which the strided swap requires (odd column
+    ``L-1`` lands at ``2L-1``).
+    """
+    L = choose_L(radius) if L is None else L
+    w = logical_width(radius, L)
+    padded = -(-w // align) * align
+    if padded < 2 * L:
+        padded = -(-(2 * L) // align) * align
+    return padded
+
+
+def build_kernel_matrix(
+    row: np.ndarray, L: int | None = None, align: int = K_ALIGN
+) -> np.ndarray:
+    """Build the padded ``L × padded_width`` kernel matrix for one row.
+
+    ``row`` must have odd length ``2r+1``.  Zero coefficients inside the row
+    (e.g. star-stencil rows) are kept as *structural* entries — the 2:4
+    encoding treats them as data, which is what makes the extraction rule
+    uniform for a given radius (§3.1.2).
+    """
+    row = np.asarray(row, dtype=np.float64).reshape(-1)
+    if row.size % 2 == 0 or row.size < 3:
+        raise ValueError(f"kernel row must have odd length >= 3, got {row.size}")
+    radius = (row.size - 1) // 2
+    L = choose_L(radius) if L is None else L
+    if L < 2 * radius + 2:
+        raise ValueError(
+            f"L = {L} violates the sparsity requirement L >= 2r+2 = {2*radius+2}"
+        )
+    width = padded_width(radius, L, align)
+    k = np.zeros((L, width), dtype=np.float64)
+    for i in range(L):
+        k[i, i : i + row.size] = row
+    return k
+
+
+def structural_mask(
+    radius: int, L: int | None = None, align: int = K_ALIGN
+) -> np.ndarray:
+    """Boolean mask of *structural* (coefficient-bearing) kernel-matrix cells.
+
+    Independent of coefficient values — this is the "predefined extraction
+    rule" of §3.1.2 that lets metadata be generated offline once per radius.
+    """
+    L = choose_L(radius) if L is None else L
+    side = 2 * radius + 1
+    width = padded_width(radius, L, align)
+    mask = np.zeros((L, width), dtype=bool)
+    for i in range(L):
+        mask[i, i : i + side] = True
+    return mask
+
+
+def kernel_matrix_sparsity(radius: int, L: int | None = None) -> float:
+    """Structural sparsity of the *unpadded* kernel matrix.
+
+    ``sparsity = 1 - (2r+1)/(2r+L)``; equals 0.5 exactly when ``L = 2r+2``.
+    """
+    L = choose_L(radius) if L is None else L
+    return 1.0 - (2 * radius + 1) / (2 * radius + L)

@@ -1,0 +1,182 @@
+"""The public SPIDER API.
+
+:class:`Spider` wraps the whole system — AOT strided-swapping compilation,
+tiling, packing, and the SpTC executor — behind the two calls a user needs:
+
+>>> from repro import Spider
+>>> from repro.stencil import named_stencil, Grid
+>>> sp = Spider(named_stencil("heat2d"))
+>>> out = sp.run(Grid.random((64, 64)))
+
+Variants (for §4.4's ablation):
+
+* ``SpiderVariant.TC`` — transformation into 50%-sparse GEMM executed on
+  *dense* tensor cores ("SPIDER w. TC");
+* ``SpiderVariant.SPTC`` — plus strided swapping and ``mma.sp`` ("SPIDER
+  w. SpTC");
+* ``SpiderVariant.SPTC_CO`` — plus the §3.3 computing optimizations
+  ("SPIDER w. SpTC+CO").  Functionally identical to ``SPTC``; the variants
+  differ in modeled cost/instructions, which is what the ablation compares.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..gpu.device import A100_80GB_PCIE, DeviceSpec, Pipe
+from ..gpu.timing import KernelCost, TimingBreakdown, estimate_time
+from ..sptc.mma import MmaPrecision
+from ..stencil.grid import Grid
+from ..stencil.spec import StencilSpec
+from .cost import spider_cost
+from .encoding import EncodedKernelRow
+from .executor import FaithfulRunReport, SpiderExecutor
+from .kernel_matrix import kernel_matrix_sparsity
+from .packing import kernel_load_audit, plan_metadata_packing
+from .row_swap import RowSwapStrategy, strategy_for
+from .tiling import TilePlan, make_tile_plan
+
+__all__ = ["Spider", "SpiderVariant", "CompileReport"]
+
+
+class SpiderVariant(enum.Enum):
+    """Ablation stages of §4.4 (see module docstring)."""
+
+    TC = "tc"  # dense tensor cores on the 50%-sparse kernel matrix
+    SPTC = "sptc"  # + strided swapping, sparse tensor cores
+    SPTC_CO = "sptc+co"  # + tiling/packing computing optimizations
+
+
+@dataclass
+class CompileReport:
+    """What ahead-of-time compilation produced (all offline, O(1) in the
+    problem size — §4.2's preparation-cost discussion)."""
+
+    L: int
+    width: int
+    sparsity: float
+    num_kernel_rows: int
+    parameter_elements: int
+    metadata_words: int
+    row_swap_strategy: RowSwapStrategy
+    packed_kernel_transactions: int
+    unpacked_kernel_transactions: int
+    metadata_registers_naive: int
+    metadata_registers_packed: int
+
+
+class Spider:
+    """SPIDER stencil accelerator (paper's primary contribution).
+
+    Parameters
+    ----------
+    spec:
+        Stencil to compile.
+    precision:
+        ``"exact"`` or ``"fp16"`` (see :class:`repro.sptc.mma.MmaPrecision`).
+    variant:
+        Ablation stage; default is the full system.
+    device:
+        Machine model used for cost estimation (defaults to the paper's
+        A100-80GB PCIe).
+    """
+
+    def __init__(
+        self,
+        spec: StencilSpec,
+        precision: str = MmaPrecision.EXACT,
+        variant: SpiderVariant = SpiderVariant.SPTC_CO,
+        device: DeviceSpec = A100_80GB_PCIE,
+    ) -> None:
+        self.spec = spec
+        self.precision = MmaPrecision.validate(precision)
+        self.variant = variant
+        self.device = device
+        self._executor = SpiderExecutor(
+            spec,
+            precision,
+            use_sptc=variant is not SpiderVariant.TC,
+        )
+        self._report: Optional[CompileReport] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def executor(self) -> SpiderExecutor:
+        return self._executor
+
+    @property
+    def encoded_rows(self) -> List[EncodedKernelRow]:
+        return self._executor._encoded
+
+    def compile_report(self) -> CompileReport:
+        """Summarize the AOT transformation artifacts."""
+        if self._report is None:
+            enc = self.encoded_rows[0]
+            width = enc.width
+            num_k_tiles = width // 16
+            unpacked, packed = kernel_load_audit(num_k_tiles)
+            meta_plan = plan_metadata_packing(num_k_tiles)
+            self._report = CompileReport(
+                L=enc.L,
+                width=width,
+                sparsity=kernel_matrix_sparsity(self.spec.radius),
+                num_kernel_rows=len(self.encoded_rows),
+                parameter_elements=sum(
+                    e.parameter_elements() for e in self.encoded_rows
+                ),
+                metadata_words=sum(
+                    len(e.metadata_words) for e in self.encoded_rows
+                ),
+                row_swap_strategy=strategy_for(self.spec.radius),
+                packed_kernel_transactions=packed.transactions,
+                unpacked_kernel_transactions=unpacked.transactions,
+                metadata_registers_naive=meta_plan.registers_per_thread_naive,
+                metadata_registers_packed=meta_plan.registers_per_thread_packed,
+            )
+        return self._report
+
+    # ------------------------------------------------------------------
+    def run(self, grid: Grid) -> np.ndarray:
+        """One stencil sweep (functional, emulated SpTC datapath)."""
+        return self._executor.run(grid)
+
+    def run_faithful(self, grid: Grid, **kwargs) -> FaithfulRunReport:
+        """Warp-level emulated sweep (small grids; see executor docs)."""
+        return self._executor.run_faithful(grid, **kwargs)
+
+    # ------------------------------------------------------------------
+    def tile_plan(self, grid_shape: Tuple[int, ...]) -> TilePlan:
+        return make_tile_plan(self.spec.radius, grid_shape, self.device)
+
+    def estimated_time(self, grid_shape: Tuple[int, ...]) -> TimingBreakdown:
+        """Modeled single-sweep execution time on the device.
+
+        Delegates to the calibrated model of
+        :mod:`repro.analysis.perfmodel` (the same one the Figure-10/11/12
+        benches use), re-expressed as a :class:`TimingBreakdown`.
+        """
+        from ..analysis.perfmodel import estimate_spider_variant
+
+        est = estimate_spider_variant(
+            self.variant, self.spec, grid_shape, device=self.device
+        )
+        points = float(np.prod(grid_shape))
+        return TimingBreakdown(
+            compute_s=est.compute_s_per_point * points,
+            memory_s=max(est.smem_s_per_point, est.dram_s_per_point) * points,
+            launch_s=self.device.launch_overhead_s,
+            saturation=est.saturation,
+        )
+
+    def estimated_gstencils(self, grid_shape: Tuple[int, ...]) -> float:
+        """Modeled throughput in GStencils/s for one sweep (calibrated
+        performance model, §4 reproduction)."""
+        from ..analysis.perfmodel import estimate_spider_variant
+
+        return estimate_spider_variant(
+            self.variant, self.spec, grid_shape, device=self.device
+        ).gstencils

@@ -1,0 +1,188 @@
+"""Zero-cost runtime row swapping (paper §3.2, Figure 6, Table 3).
+
+Strided swapping permutes the *kernel matrix columns* ahead of time; the
+matching permutation of the *input matrix rows* must happen every
+iteration.  SPIDER hides it in the shared-memory→register offset
+calculation of the B-operand fragment load:
+
+    offset_row  = 2·(lane mod 4) + 8·⌊i/2⌋ + (i mod 2)          (baseline)
+    offset_row' = offset_row + swap_term(i, k)                   (swapped)
+
+where ``k`` is the mma.sp invocation index along the reduction dimension.
+For Box-2D7R (L = 16, two ``mma.sp.m16n8k16`` per output tile) the paper's
+term is ``16·(−1)^k`` on the swapped-parity elements.  Because the term
+depends only on *unrolled* loop variables, the compiler folds it into the
+literal offset: zero extra instructions, unchanged per-lane data volume,
+unchanged access pattern — the three rows of Table 3.
+
+This module provides both the *executable* offset functions (used by the
+warp-level emulator) and their *symbolic* forms (used with
+:mod:`repro.gpu.jit` to reproduce the instruction-count equality).
+
+Parity note: with this repo's 0-based odd-column swap, the swapped B rows
+are the odd offsets, i.e. elements with ``i mod 2 == 1`` (the paper's text
+writes the even case — a 1-based indexing artifact; see
+:mod:`repro.core.swapping`).
+
+Fold domain: the swap term is a compile-time constant per ``(i, k)``
+whenever ``L`` is a multiple of 8 (radius ≡ 3 mod 4, e.g. Box-2D3R/7R),
+because then each element's 4-lane row span ``{c, c+2, c+4, c+6}`` lies
+entirely on one side of every swap boundary (``L``, ``2L``).  For other
+radii the permutation is folded into the one-time shared-memory *store*
+addressing instead (:data:`RowSwapStrategy.STORE_PERMUTE`) — still zero
+steady-state overhead, but outside Table 3's strict instruction-identity
+regime, which the paper demonstrates on Box-2D7R (``L = 16``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from ..gpu.jit import Add, Const, Expr, FloorDiv, Mod, Mul, Piecewise, Var
+from ..sptc.warp import default_b_row_offset
+from .kernel_matrix import choose_L, padded_width
+from .swapping import strided_permutation, swap_displacement
+
+__all__ = [
+    "RowSwapStrategy",
+    "strategy_for",
+    "swapped_row_offset_fn",
+    "baseline_row_offset_fn",
+    "baseline_offset_expr",
+    "swapped_offset_expr",
+    "offset_table",
+]
+
+
+class RowSwapStrategy(enum.Enum):
+    """How the runtime row swap is realized."""
+
+    #: folded into the smem→register load offsets (Table 3's regime; L >= 8)
+    FOLDED_OFFSET = "folded_offset"
+    #: folded into the one-time global→smem store addressing (L < 8)
+    STORE_PERMUTE = "store_permute"
+
+
+def strategy_for(radius: int) -> RowSwapStrategy:
+    """Strategy selection: offset folding needs lane-independent terms.
+
+    That requires every 4-lane row span of the fragment layout to stay on
+    one side of the swap boundaries, i.e. ``L % 8 == 0``.
+    """
+    return (
+        RowSwapStrategy.FOLDED_OFFSET
+        if choose_L(radius) % 8 == 0
+        else RowSwapStrategy.STORE_PERMUTE
+    )
+
+
+# ----------------------------------------------------------------------
+# Executable offset functions (consumed by repro.sptc.warp.Warp)
+# ----------------------------------------------------------------------
+
+def baseline_row_offset_fn(k_tile: int, k_span: int = 16) -> Callable[[int, int], int]:
+    """Unswapped loader: element ``i`` of ``lane`` reads k-row
+    ``k_tile*k_span + offset_row(lane, i)``, returned relative to the tile
+    base the warp loader adds (so the function itself returns absolute
+    k-rows here, with ``k_base=0`` passed to the loader)."""
+
+    def fn(lane: int, i: int) -> int:
+        return k_tile * k_span + default_b_row_offset(lane, i)
+
+    return fn
+
+
+def swapped_row_offset_fn(
+    radius: int,
+    k_tile: int,
+    L: int | None = None,
+    k_span: int = 16,
+) -> Callable[[int, int], int]:
+    """Loader with the row swap folded in.
+
+    Reads k-row ``perm[k_tile*k_span + offset_row(lane, i)]`` — exactly the
+    permutation the swapped kernel matrix requires, expressed as an offset
+    adjustment.  For ``L >= 8`` the adjustment reduces to a constant per
+    ``(i, k_tile)``; the emulator computes it through the permutation for
+    *any* L, which keeps the functional path exact even in the
+    STORE_PERMUTE regime.
+    """
+    L = choose_L(radius) if L is None else L
+    width = padded_width(radius, L)
+    perm = strided_permutation(L, width)
+
+    def fn(lane: int, i: int) -> int:
+        base = k_tile * k_span + default_b_row_offset(lane, i)
+        if base >= width:
+            return base  # zero-padding region, identity
+        return int(perm[base])
+
+    return fn
+
+
+# ----------------------------------------------------------------------
+# Symbolic offset expressions (consumed by repro.gpu.jit)
+# ----------------------------------------------------------------------
+
+def baseline_offset_expr() -> Expr:
+    """§3.2's published mapping as a symbolic expression."""
+    lane = Var("lane")
+    i = Var("i")
+    return 2 * (lane % 4) + 8 * (i // 2) + (i % 2)
+
+
+def swapped_offset_expr(radius: int, L: int | None = None, k_span: int = 16) -> Expr:
+    """Baseline plus the swap term, for the FOLDED_OFFSET regime.
+
+    The swap term is a :class:`~repro.gpu.jit.Piecewise` over the unrolled
+    variables ``i`` and ``k`` (invocation index); unrolling collapses it
+    into the literal, which is the Table-3 zero-cost mechanism.  Raises for
+    radii where offset folding does not apply (lane-dependent region test).
+    """
+    L = choose_L(radius) if L is None else L
+    if strategy_for(radius) is not RowSwapStrategy.FOLDED_OFFSET:
+        raise ValueError(
+            f"radius {radius} (L={L}) uses STORE_PERMUTE; the folded offset "
+            "expression would need lane-dependent selection"
+        )
+    width = padded_width(radius, L)
+    disp = swap_displacement(L, width)
+    num_k_tiles = width // k_span
+
+    # displacement for element (i, k): rows touched are
+    # k*k_span + 2*(lane%4) + 8*(i//2) + (i%2); for L >= 8 the displacement
+    # depends only on (i, k) — verify and tabulate.
+    cases = []
+    for k in range(num_k_tiles):
+        per_i = []
+        for i in range(4):
+            rows = {
+                k * k_span + default_b_row_offset(lane, i) for lane in range(32)
+            }
+            ds = {int(disp[r]) if r < width else 0 for r in rows}
+            if len(ds) != 1:
+                raise AssertionError(
+                    f"swap displacement not constant for (i={i}, k={k}): {ds}"
+                )
+            per_i.append((i, Const(ds.pop())))
+        cases.append((k, Piecewise("i", tuple(per_i))))
+    swap_term: Expr = Piecewise("k", tuple(cases))
+    return Add(baseline_offset_expr(), swap_term)
+
+
+def offset_table(
+    radius: int, L: int | None = None, k_span: int = 16
+) -> Dict[Tuple[int, int, int], int]:
+    """Absolute swapped k-row per ``(k_tile, lane, i)`` (test oracle)."""
+    L = choose_L(radius) if L is None else L
+    width = padded_width(radius, L)
+    out: Dict[Tuple[int, int, int], int] = {}
+    for k_tile in range(width // k_span):
+        fn = swapped_row_offset_fn(radius, k_tile, L, k_span)
+        for lane in range(32):
+            for i in range(4):
+                out[(k_tile, lane, i)] = fn(lane, i)
+    return out

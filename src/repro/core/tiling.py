@@ -1,0 +1,162 @@
+"""Hierarchical tiling strategy (paper §3.3.1, Figure 7).
+
+Three levels across the GPU memory hierarchy:
+
+1. **block-level** — each thread block computes an ``Ab × Bb`` output tile,
+   loading ``(Ab + 2r) × (Bb + 2r)`` input (with HALO) into shared memory;
+2. **warp-level** — the shared tile is partitioned into ``Aw × Bw`` warp
+   tiles scheduled on 32-thread warps;
+3. **mma-level** — warp tiles decompose into the instruction shape
+   ``(M, N, K) = (16, 8, 16)`` of ``mma.sp.m16n8k16``.
+
+The kernel matrix is reused by every tile, so it lives entirely in
+registers and bypasses shared memory (§3.3.1) — reflected in the resource
+accounting below.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..gpu.device import DeviceSpec
+from ..gpu.kernel import KernelLaunch
+from ..gpu.occupancy import BlockResources
+from .kernel_matrix import choose_L, padded_width
+
+__all__ = ["TilePlan", "make_tile_plan"]
+
+
+@dataclass(frozen=True)
+class TilePlan:
+    """Concrete tile geometry for one stencil problem.
+
+    All sizes are in output points: ``block = (Ab, Bb)``,
+    ``warp = (Aw, Bw)``, ``mma = (M, N, K)``.
+    """
+
+    radius: int
+    grid_shape: Tuple[int, ...]
+    block: Tuple[int, int]
+    warp: Tuple[int, int]
+    mma: Tuple[int, int, int] = (16, 8, 16)
+    elem_bytes: int = 2
+    registers_per_thread: int = 96
+
+    def __post_init__(self) -> None:
+        ab, bb = self.block
+        aw, bw = self.warp
+        if ab % aw or bb % bw:
+            raise ValueError("block tile must be a multiple of the warp tile")
+        if ab <= 0 or bb <= 0:
+            raise ValueError("tile sizes must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def L(self) -> int:
+        return choose_L(self.radius)
+
+    @property
+    def warps_per_block(self) -> int:
+        return (self.block[0] // self.warp[0]) * (self.block[1] // self.warp[1])
+
+    @property
+    def threads_per_block(self) -> int:
+        return 32 * self.warps_per_block
+
+    @property
+    def halo_tile_shape(self) -> Tuple[int, int]:
+        """Shared-memory input tile (output tile + HALO on every side)."""
+        r = self.radius
+        return (self.block[0] + 2 * r, self.block[1] + 2 * r)
+
+    @property
+    def shared_mem_bytes(self) -> int:
+        h, w = self.halo_tile_shape
+        return h * w * self.elem_bytes
+
+    @property
+    def num_blocks(self) -> int:
+        if len(self.grid_shape) == 1:
+            rows, cols = 1, self.grid_shape[0]
+        else:
+            rows, cols = self.grid_shape[0], self.grid_shape[1]
+        return math.ceil(rows / self.block[0]) * math.ceil(cols / self.block[1])
+
+    @property
+    def mma_issues_per_warp_tile(self) -> int:
+        """mma.sp issues to cover one warp tile of outputs once.
+
+        The warp tile's ``Bw`` output columns split into ``Bw / L`` L-chunks
+        of ``L`` outputs; the padded kernel-matrix width divides into
+        ``width / K`` k-tiles; output chunks map onto the instruction's
+        M = 16 rows (``ceil(L / 16)`` m-tiles) and the warp tile's rows times
+        chunks onto N = 8 columns.
+        """
+        width = padded_width(self.radius)
+        chunks = math.ceil(self.warp[1] / self.L)
+        n_cols = self.warp[0] * chunks  # GEMM n dimension for this warp tile
+        m_tiles = math.ceil(self.L / self.mma[0])
+        k_tiles = math.ceil(width / self.mma[2])
+        n_tiles = math.ceil(n_cols / self.mma[1])
+        return m_tiles * n_tiles * k_tiles
+
+    # ------------------------------------------------------------------
+    def block_resources(self) -> BlockResources:
+        return BlockResources(
+            threads=self.threads_per_block,
+            registers_per_thread=self.registers_per_thread,
+            shared_mem_bytes=self.shared_mem_bytes,
+        )
+
+    def launch(self, name: str = "spider") -> KernelLaunch:
+        return KernelLaunch(
+            grid=self.num_blocks, block=self.block_resources(), name=name
+        )
+
+
+def make_tile_plan(
+    radius: int,
+    grid_shape: Tuple[int, ...],
+    device: DeviceSpec | None = None,
+    *,
+    block: Tuple[int, int] | None = None,
+    warp: Tuple[int, int] | None = None,
+) -> TilePlan:
+    """Default SPIDER tiling for a problem.
+
+    SPIDER "employs a large tiling size for efficient memory access" (§4.3)
+    — the default is a 64×64 block tile of 8 warps (each warp tile 16×32),
+    shrunk only when the problem itself is smaller.
+    """
+    if len(grid_shape) == 1:
+        rows, cols = 1, grid_shape[0]
+    elif len(grid_shape) == 2:
+        rows, cols = grid_shape
+    else:
+        raise ValueError("tile planning supports 1D and 2D grids")
+
+    if block is None:
+        ab = 64 if rows >= 64 else max(16, 1 << max(0, (rows - 1).bit_length()))
+        if rows < 16:
+            ab = 16
+        bb = 64 if cols >= 64 else 64
+        block = (min(ab, 64), 64)
+        if rows == 1:
+            block = (16, 256 if cols >= 256 else 64)
+    if warp is None:
+        aw = min(16, block[0])
+        bw = max(16, block[1] // 2)
+        while block[0] % aw:
+            aw //= 2
+        while block[1] % bw:
+            bw //= 2
+        warp = (aw, bw)
+    plan = TilePlan(radius=radius, grid_shape=tuple(grid_shape), block=block, warp=warp)
+    if device is not None and plan.shared_mem_bytes > device.shared_mem_per_sm:
+        raise ValueError(
+            f"tile plan needs {plan.shared_mem_bytes} B shared memory; "
+            f"{device.name} offers {device.shared_mem_per_sm} B per SM"
+        )
+    return plan

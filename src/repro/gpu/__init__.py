@@ -1,0 +1,61 @@
+"""GPU machine-model substrate: device specs, memory system, occupancy,
+analytical timing, and the mini-JIT used for the Table-3 zero-cost proof."""
+
+from .device import A100_80GB_PCIE, GENERIC_GPU, DeviceSpec, Pipe
+from .jit import (
+    Add,
+    Const,
+    Expr,
+    FloorDiv,
+    Mod,
+    Mul,
+    Piecewise,
+    Var,
+    count_ops,
+    evaluate,
+    unroll,
+)
+from .kernel import KernelLaunch
+from .memory import (
+    AccessAudit,
+    audit_warp_access,
+    coalesced_transactions,
+    shared_bank_conflicts,
+)
+from .occupancy import BlockResources, occupancy, saturation_factor, wave_efficiency
+from .ptx import PtxLine, compare_variants, opcode_stream, render_inner_loop
+from .timing import KernelCost, TimingBreakdown, estimate_time
+
+__all__ = [
+    "A100_80GB_PCIE",
+    "GENERIC_GPU",
+    "DeviceSpec",
+    "Pipe",
+    "Add",
+    "Const",
+    "Expr",
+    "FloorDiv",
+    "Mod",
+    "Mul",
+    "Piecewise",
+    "Var",
+    "count_ops",
+    "evaluate",
+    "unroll",
+    "KernelLaunch",
+    "AccessAudit",
+    "audit_warp_access",
+    "coalesced_transactions",
+    "shared_bank_conflicts",
+    "PtxLine",
+    "compare_variants",
+    "opcode_stream",
+    "render_inner_loop",
+    "BlockResources",
+    "occupancy",
+    "saturation_factor",
+    "wave_efficiency",
+    "KernelCost",
+    "TimingBreakdown",
+    "estimate_time",
+]

@@ -1,0 +1,114 @@
+"""GPU device specifications for the analytical machine model.
+
+The paper's testbed is an NVIDIA A100-80GB PCIe (Ampere, §4.1).  The model
+needs only the architectural envelope: per-pipe peak throughputs, memory
+bandwidth, SM resources, and launch overhead.  Numbers follow the Ampere
+whitepaper / A100 datasheet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["Pipe", "DeviceSpec", "A100_80GB_PCIE", "GENERIC_GPU"]
+
+
+class Pipe:
+    """Compute pipe identifiers used by cost models."""
+
+    CUDA_FP64 = "cuda_fp64"
+    CUDA_FP32 = "cuda_fp32"
+    TC_FP64 = "tc_fp64"
+    TC_TF32 = "tc_tf32"
+    TC_FP16 = "tc_fp16"
+    SPTC_FP16 = "sptc_fp16"
+
+    ALL = (CUDA_FP64, CUDA_FP32, TC_FP64, TC_TF32, TC_FP16, SPTC_FP16)
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural envelope of one GPU.
+
+    Attributes
+    ----------
+    peak_flops:
+        Peak FLOP/s per :class:`Pipe` (dense MACs counted as 2 FLOPs).
+    mem_bandwidth:
+        Global-memory bandwidth in bytes/s.
+    num_sms:
+        Streaming multiprocessors.
+    max_threads_per_sm / max_blocks_per_sm / registers_per_sm /
+    shared_mem_per_sm:
+        Occupancy limits.
+    shared_mem_banks / shared_bank_bytes:
+        Shared-memory bank geometry (32 banks x 4 bytes on Ampere).
+    global_transaction_bytes:
+        Coalescing granularity (one 32-byte sector).
+    launch_overhead_s:
+        Fixed kernel-launch latency (the Figure-11 "fixed GPU launch
+        overhead" that amortizes with problem size).
+    l2_bytes:
+        L2 capacity (informational; the timing model is two-level).
+    """
+
+    name: str
+    peak_flops: Dict[str, float]
+    mem_bandwidth: float
+    num_sms: int
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 32
+    registers_per_sm: int = 65536
+    shared_mem_per_sm: int = 167936  # 164 KiB usable on A100
+    shared_mem_banks: int = 32
+    shared_bank_bytes: int = 4
+    global_transaction_bytes: int = 32
+    launch_overhead_s: float = 4.0e-6
+    l2_bytes: int = 40 * 1024 * 1024
+
+    def peak(self, pipe: str) -> float:
+        try:
+            return self.peak_flops[pipe]
+        except KeyError:
+            raise KeyError(
+                f"device {self.name!r} has no pipe {pipe!r}; "
+                f"available: {sorted(self.peak_flops)}"
+            ) from None
+
+    @property
+    def max_resident_threads(self) -> int:
+        return self.num_sms * self.max_threads_per_sm
+
+
+#: The paper's evaluation GPU.  Peaks per the A100 datasheet:
+#: FP64 CUDA 9.7 TF, FP64 TC 19.5 TF, FP32 19.5 TF, TF32 TC 156 TF,
+#: FP16 TC 312 TF dense / 624 TF with 2:4 sparsity; HBM2e 1935 GB/s.
+A100_80GB_PCIE = DeviceSpec(
+    name="A100-80GB-PCIe",
+    peak_flops={
+        Pipe.CUDA_FP64: 9.7e12,
+        Pipe.CUDA_FP32: 19.5e12,
+        Pipe.TC_FP64: 19.5e12,
+        Pipe.TC_TF32: 156e12,
+        Pipe.TC_FP16: 312e12,
+        Pipe.SPTC_FP16: 624e12,
+    },
+    mem_bandwidth=1.935e12,
+    num_sms=108,
+)
+
+#: A deliberately modest generic part for sensitivity studies.
+GENERIC_GPU = DeviceSpec(
+    name="generic",
+    peak_flops={
+        Pipe.CUDA_FP64: 5e12,
+        Pipe.CUDA_FP32: 10e12,
+        Pipe.TC_FP64: 10e12,
+        Pipe.TC_TF32: 80e12,
+        Pipe.TC_FP16: 160e12,
+        Pipe.SPTC_FP16: 320e12,
+    },
+    mem_bandwidth=1.0e12,
+    num_sms=64,
+)

@@ -1,0 +1,46 @@
+"""Kernel launch descriptors.
+
+A :class:`KernelLaunch` records what an implementation *would* launch on the
+GPU — grid/block geometry and the per-block resource footprint — decoupling
+algorithm code from the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .occupancy import BlockResources
+
+__all__ = ["KernelLaunch"]
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """Launch geometry of one kernel.
+
+    Attributes
+    ----------
+    grid:
+        Number of thread blocks (already flattened).
+    block:
+        Per-block resources (threads, registers, shared memory).
+    name:
+        Identifier for reports.
+    """
+
+    grid: int
+    block: BlockResources
+    name: str = "kernel"
+
+    def __post_init__(self) -> None:
+        if self.grid <= 0:
+            raise ValueError("grid must be positive")
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid * self.block.threads
+
+    @property
+    def total_warps(self) -> int:
+        return self.total_threads // 32

@@ -1,0 +1,121 @@
+"""Memory-system models: global coalescing and shared-memory bank conflicts.
+
+Used by Table 3's claim verification: SPIDER's swapped B-fragment loads must
+produce (a) the same number of global/shared transactions and (b) no new
+bank conflicts compared with the unswapped kernel.  These models turn the
+per-lane address traces emitted by :class:`repro.sptc.warp.Warp` into
+transaction and conflict counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "coalesced_transactions",
+    "shared_bank_conflicts",
+    "AccessAudit",
+    "audit_warp_access",
+]
+
+
+def coalesced_transactions(
+    byte_addresses: Sequence[int], transaction_bytes: int = 32
+) -> int:
+    """Number of global-memory transactions for one warp-wide access.
+
+    Ampere coalesces a warp's accesses into 32-byte sectors; the transaction
+    count is the number of distinct sectors touched.  Negative addresses
+    (inactive lanes / predicated-off accesses) are ignored.
+    """
+    if transaction_bytes <= 0:
+        raise ValueError("transaction_bytes must be positive")
+    addrs = np.asarray(list(byte_addresses), dtype=np.int64)
+    addrs = addrs[addrs >= 0]
+    if addrs.size == 0:
+        return 0
+    sectors = np.unique(addrs // transaction_bytes)
+    return int(sectors.size)
+
+
+def shared_bank_conflicts(
+    byte_addresses: Sequence[int],
+    banks: int = 32,
+    bank_bytes: int = 4,
+) -> int:
+    """Extra shared-memory cycles due to bank conflicts for one warp access.
+
+    Lanes hitting the same bank at *different* 4-byte words serialize; lanes
+    reading the same word broadcast for free.  Returns the conflict degree
+    minus one summed over banks — i.e. 0 means conflict-free.
+    """
+    addrs = np.asarray(list(byte_addresses), dtype=np.int64)
+    addrs = addrs[addrs >= 0]
+    if addrs.size == 0:
+        return 0
+    words = addrs // bank_bytes
+    bank_of = words % banks
+    extra = 0
+    for b in np.unique(bank_of):
+        distinct_words = np.unique(words[bank_of == b])
+        extra += int(distinct_words.size) - 1
+    return extra
+
+
+@dataclass(frozen=True)
+class AccessAudit:
+    """Transactions + conflicts for a batch of warp-wide accesses."""
+
+    num_accesses: int
+    transactions: int
+    bank_conflicts: int
+    bytes_moved: int
+
+    def merge(self, other: "AccessAudit") -> "AccessAudit":
+        return AccessAudit(
+            self.num_accesses + other.num_accesses,
+            self.transactions + other.transactions,
+            self.bank_conflicts + other.bank_conflicts,
+            self.bytes_moved + other.bytes_moved,
+        )
+
+    @property
+    def conflict_free(self) -> bool:
+        return self.bank_conflicts == 0
+
+
+def audit_warp_access(
+    element_addresses: np.ndarray,
+    elem_bytes: int = 2,
+    *,
+    banks: int = 32,
+    bank_bytes: int = 4,
+    transaction_bytes: int = 32,
+) -> AccessAudit:
+    """Audit a (lanes, elems) element-address trace from the warp loader.
+
+    Each column (fixed element index ``i``) is one SIMT-wide access: all 32
+    lanes issue their ``i``-th load together.  Addresses are element indices
+    and are scaled by ``elem_bytes``.
+    """
+    element_addresses = np.asarray(element_addresses, dtype=np.int64)
+    if element_addresses.ndim != 2:
+        raise ValueError("expected a (lanes, elems) address trace")
+    transactions = 0
+    conflicts = 0
+    nbytes = 0
+    for i in range(element_addresses.shape[1]):
+        col = element_addresses[:, i]
+        byte_addrs = np.where(col >= 0, col * elem_bytes, -1)
+        transactions += coalesced_transactions(byte_addrs, transaction_bytes)
+        conflicts += shared_bank_conflicts(byte_addrs, banks, bank_bytes)
+        nbytes += int((col >= 0).sum()) * elem_bytes
+    return AccessAudit(
+        num_accesses=element_addresses.shape[1],
+        transactions=transactions,
+        bank_conflicts=conflicts,
+        bytes_moved=nbytes,
+    )

@@ -1,0 +1,91 @@
+"""Occupancy calculation and the small-problem saturation ramp.
+
+Figure 11's throughput curves ramp up with problem size until "all GPU
+resources become saturated" (§4.3).  The model has two parts:
+
+* :func:`occupancy` — the classic per-SM limiter calculation (threads,
+  blocks, registers, shared memory);
+* :func:`saturation_factor` — how much of the device the *launched* grid can
+  actually keep busy: fewer resident threads than the device supports, or a
+  final partial wave, reduce achieved throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .device import DeviceSpec
+
+__all__ = ["BlockResources", "occupancy", "saturation_factor", "wave_efficiency"]
+
+
+@dataclass(frozen=True)
+class BlockResources:
+    """Per-block resource footprint of a kernel."""
+
+    threads: int
+    registers_per_thread: int = 64
+    shared_mem_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.threads <= 0 or self.threads % 32:
+            raise ValueError("threads must be a positive multiple of 32")
+        if self.registers_per_thread <= 0:
+            raise ValueError("registers_per_thread must be positive")
+        if self.shared_mem_bytes < 0:
+            raise ValueError("shared_mem_bytes must be >= 0")
+
+
+def occupancy(device: DeviceSpec, block: BlockResources) -> float:
+    """Fraction of an SM's thread slots this kernel can keep resident."""
+    by_threads = device.max_threads_per_sm // block.threads
+    by_blocks = device.max_blocks_per_sm
+    by_regs = device.registers_per_sm // (
+        block.registers_per_thread * block.threads
+    )
+    if block.shared_mem_bytes:
+        by_smem = device.shared_mem_per_sm // block.shared_mem_bytes
+    else:
+        by_smem = by_blocks
+    blocks_per_sm = max(0, min(by_threads, by_blocks, by_regs, by_smem))
+    if blocks_per_sm == 0:
+        raise ValueError(
+            f"kernel block does not fit on an SM: {block} vs {device.name}"
+        )
+    return blocks_per_sm * block.threads / device.max_threads_per_sm
+
+
+def wave_efficiency(num_blocks: int, blocks_per_wave: int) -> float:
+    """Efficiency loss from the final partial wave (tail effect)."""
+    if num_blocks <= 0 or blocks_per_wave <= 0:
+        raise ValueError("block counts must be positive")
+    import math
+
+    waves = math.ceil(num_blocks / blocks_per_wave)
+    return num_blocks / (waves * blocks_per_wave)
+
+
+def saturation_factor(
+    device: DeviceSpec,
+    block: BlockResources,
+    num_blocks: int,
+    *,
+    min_factor: float = 0.02,
+) -> float:
+    """Fraction of device peak the launched grid can sustain.
+
+    Combines (a) how many of the device's thread slots the grid fills when
+    it is smaller than one full wave and (b) tail-wave quantization when it
+    is larger.  Returns a value in ``(0, 1]``.
+    """
+    occ = occupancy(device, block)
+    blocks_per_sm = int(round(occ * device.max_threads_per_sm / block.threads))
+    blocks_per_wave = max(1, blocks_per_sm * device.num_sms)
+    if num_blocks <= 0:
+        raise ValueError("num_blocks must be positive")
+    if num_blocks < blocks_per_wave:
+        fill = num_blocks / blocks_per_wave
+    else:
+        fill = wave_efficiency(num_blocks, blocks_per_wave)
+    return max(min_factor, occ * fill)

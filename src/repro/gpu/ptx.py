@@ -1,0 +1,113 @@
+"""Pseudo-PTX rendering of the SPIDER inner loop.
+
+Table 3's argument is about *generated code*: after unrolling, the kernels
+with and without integrated row swapping must contain literally the same
+instruction sequence modulo immediate offsets.  This module renders the
+unrolled B-fragment load + ``mma.sp`` sequence as PTX-flavoured text from
+the symbolic offset expressions, so the claim can be eyeballed (and is
+asserted by comparing the opcode streams).
+
+This is a *rendering* of the emulator's semantics, not a compiler: good
+for inspection, documentation and tests, not for running on hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.kernel_matrix import padded_width
+from ..core.row_swap import baseline_offset_expr, swapped_offset_expr
+from .jit import Const, count_ops, unroll
+
+__all__ = ["PtxLine", "render_inner_loop", "opcode_stream", "compare_variants"]
+
+
+@dataclass(frozen=True)
+class PtxLine:
+    """One rendered instruction: opcode plus operand text."""
+
+    opcode: str
+    operands: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"    {self.opcode} {self.operands};"
+
+
+def _offset_lines(expr_constant: int, i: int, reg: str) -> List[PtxLine]:
+    """The address computation for one unrolled element.
+
+    ``2*(lane%4)`` is loop-invariant (hoisted once as ``%quad``); what
+    remains per element is a single IADD with an immediate — identical
+    shape for baseline and swapped variants, only the immediate differs.
+    """
+    return [
+        PtxLine("iadd.s32", f"{reg}, %quad, {expr_constant}"),
+    ]
+
+
+def render_inner_loop(radius: int, *, swapped: bool) -> List[PtxLine]:
+    """Unrolled loads + mma.sp issues for one n-tile at this radius.
+
+    Only radii in the FOLDED_OFFSET regime are renderable (the Table-3
+    setting); see :mod:`repro.core.row_swap` for the domain.
+    """
+    width = padded_width(radius)
+    num_k = width // 16
+    base = baseline_offset_expr()
+    sw = swapped_offset_expr(radius) if swapped else None
+
+    lines: List[PtxLine] = [
+        PtxLine("and.b32", "%quad, %laneid, 3"),
+        PtxLine("shl.b32", "%quad, %quad, 1"),
+    ]
+    for k in range(num_k):
+        for i in range(4):
+            if swapped:
+                folded = unroll(sw, {"i": i, "k": k})
+            else:
+                folded = unroll(base, {"i": i})
+            # the folded expression is %quad + constant; extract the constant
+            const = _extract_constant(folded)
+            lines += _offset_lines(16 * k + const, i, f"%row{k}_{i}")
+            lines.append(
+                PtxLine(
+                    "ld.shared.b16",
+                    f"%b{k}_{i}, [%smem + %row{k}_{i} * %pitch + %col * 2]",
+                )
+            )
+        lines.append(
+            PtxLine(
+                "mma.sp.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32",
+                f"{{%d0,%d1,%d2,%d3}}, {{%a{k}0,%a{k}1}}, "
+                f"{{%b{k}_0,%b{k}_1,%b{k}_2,%b{k}_3}}, "
+                f"{{%d0,%d1,%d2,%d3}}, %meta{k}, 0x0",
+            )
+        )
+    return lines
+
+
+def _extract_constant(folded) -> int:
+    """Constant term of a folded ``%quad + c`` expression."""
+    from .jit import Add, Mod, Mul, Var
+
+    if isinstance(folded, Const):
+        return folded.value
+    if isinstance(folded, Add):
+        # rebuilt sums place the constant last
+        if isinstance(folded.rhs, Const):
+            return folded.rhs.value
+        return 0
+    return 0
+
+
+def opcode_stream(lines: List[PtxLine]) -> List[str]:
+    """Just the opcodes — the Table-3 comparison unit."""
+    return [l.opcode for l in lines]
+
+
+def compare_variants(radius: int) -> Tuple[List[PtxLine], List[PtxLine], bool]:
+    """(baseline, swapped, identical_opcode_streams) for one radius."""
+    a = render_inner_loop(radius, swapped=False)
+    b = render_inner_loop(radius, swapped=True)
+    return a, b, opcode_stream(a) == opcode_stream(b)

@@ -1,0 +1,106 @@
+"""Analytical (roofline-style) kernel timing.
+
+The reproduction's Figures 10–12 compare methods whose *cost structures*
+(FLOPs, memory traffic, compute pipe) differ by closed-form factors derived
+in the paper's §2.3/§3.1.  This model maps such a cost onto a device:
+
+    t = max(flops / (peak_pipe * eff_c), bytes / (BW * eff_m)) / saturation
+        + launch_overhead
+
+Saturation comes from :mod:`repro.gpu.occupancy` and produces the Figure-11
+ramp; launch overhead produces the small plateau tail the paper observes
+beyond saturation (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .device import DeviceSpec
+from .occupancy import BlockResources, saturation_factor
+
+__all__ = ["KernelCost", "TimingBreakdown", "estimate_time"]
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Per-launch cost of one kernel.
+
+    Attributes
+    ----------
+    flops:
+        FLOPs actually issued through ``pipe`` (including any redundant
+        zero-value work a method performs — that is the point of §2.3).
+    pipe:
+        Compute pipe identifier (:class:`repro.gpu.device.Pipe`).
+    dram_bytes:
+        Global-memory traffic in bytes (reads + writes after tiling reuse).
+    compute_efficiency / memory_efficiency:
+        Achievable fraction of the corresponding peak (pipeline stalls,
+        imperfect overlap).  Calibrated per method in
+        :mod:`repro.analysis.perfmodel`.
+    """
+
+    flops: float
+    pipe: str
+    dram_bytes: float
+    compute_efficiency: float = 0.7
+    memory_efficiency: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.dram_bytes < 0:
+            raise ValueError("flops and dram_bytes must be >= 0")
+        if not 0 < self.compute_efficiency <= 1:
+            raise ValueError("compute_efficiency must be in (0, 1]")
+        if not 0 < self.memory_efficiency <= 1:
+            raise ValueError("memory_efficiency must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class TimingBreakdown:
+    """Where the time went, for reporting and ablation narration."""
+
+    compute_s: float
+    memory_s: float
+    launch_s: float
+    saturation: float
+
+    @property
+    def total_s(self) -> float:
+        return max(self.compute_s, self.memory_s) / self.saturation + self.launch_s
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.compute_s >= self.memory_s else "memory"
+
+
+def estimate_time(
+    device: DeviceSpec,
+    cost: KernelCost,
+    *,
+    block: Optional[BlockResources] = None,
+    num_blocks: Optional[int] = None,
+    launches: int = 1,
+) -> TimingBreakdown:
+    """Estimate one kernel's execution time on ``device``.
+
+    When ``block``/``num_blocks`` are provided the occupancy/saturation ramp
+    is applied; otherwise the device is assumed saturated (appropriate for
+    the paper's largest problem sizes).
+    """
+    if launches < 1:
+        raise ValueError("launches must be >= 1")
+    peak = device.peak(cost.pipe)
+    compute_s = cost.flops / (peak * cost.compute_efficiency)
+    memory_s = cost.dram_bytes / (device.mem_bandwidth * cost.memory_efficiency)
+    if block is not None and num_blocks is not None:
+        sat = saturation_factor(device, block, num_blocks)
+    else:
+        sat = 1.0
+    return TimingBreakdown(
+        compute_s=compute_s,
+        memory_s=memory_s,
+        launch_s=device.launch_overhead_s * launches,
+        saturation=sat,
+    )

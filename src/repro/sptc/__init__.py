@@ -1,0 +1,109 @@
+"""Sparse Tensor Core emulator substrate.
+
+Implements the 2:4 structured sparse format, its 2-bit metadata encoding,
+warp fragment layouts, and both dense (``mma``) and sparse (``mma.sp``)
+instruction semantics — the hardware contract SPIDER targets (paper §2.1).
+"""
+
+from .formats import (
+    GROUP,
+    KEEP,
+    Sparse24Matrix,
+    compress_24,
+    decompress_24,
+    is_24_sparse,
+    violating_groups,
+)
+from .fragments import (
+    LANES,
+    a_dense_fragment_coords,
+    a_fragment_coords,
+    acc_fragment_coords,
+    b_fragment_coords,
+    b_fragment_rows_paper,
+    collect_acc,
+    collect_b,
+    distribute_a,
+    distribute_a_dense,
+    distribute_acc,
+    distribute_b,
+    metadata_fragment_lanes,
+)
+from .instruction import InstructionStream, Op
+from .metadata import (
+    MetadataRegisterFile,
+    decode_positions,
+    decode_row_word,
+    encode_positions,
+    encode_row_word,
+    pack_metadata_words,
+    unpack_metadata_words,
+)
+from .mma import (
+    MMA_M16N8K8,
+    MMA_M16N8K16,
+    MmaPrecision,
+    MmaShape,
+    mma_dense,
+    mma_dense_lanewise,
+)
+from .mma_sp import (
+    MMA_SP_M16N8K16,
+    MMA_SP_M16N8K32,
+    mma_sp,
+    mma_sp_lanewise,
+    sparse_matmul,
+    synthesize_metadata_registers,
+)
+from .spmm_lib import SpmmHandle, SpmmPlan, prune_24, prune_error
+from .warp import Warp, default_b_row_offset
+
+__all__ = [
+    "GROUP",
+    "KEEP",
+    "LANES",
+    "Sparse24Matrix",
+    "compress_24",
+    "decompress_24",
+    "is_24_sparse",
+    "violating_groups",
+    "a_dense_fragment_coords",
+    "a_fragment_coords",
+    "acc_fragment_coords",
+    "b_fragment_coords",
+    "b_fragment_rows_paper",
+    "collect_acc",
+    "collect_b",
+    "distribute_a",
+    "distribute_a_dense",
+    "distribute_acc",
+    "distribute_b",
+    "metadata_fragment_lanes",
+    "InstructionStream",
+    "Op",
+    "MetadataRegisterFile",
+    "decode_positions",
+    "decode_row_word",
+    "encode_positions",
+    "encode_row_word",
+    "pack_metadata_words",
+    "unpack_metadata_words",
+    "MMA_M16N8K8",
+    "MMA_M16N8K16",
+    "MMA_SP_M16N8K16",
+    "MMA_SP_M16N8K32",
+    "MmaPrecision",
+    "MmaShape",
+    "mma_dense",
+    "mma_dense_lanewise",
+    "mma_sp",
+    "mma_sp_lanewise",
+    "sparse_matmul",
+    "synthesize_metadata_registers",
+    "SpmmHandle",
+    "SpmmPlan",
+    "prune_24",
+    "prune_error",
+    "Warp",
+    "default_b_row_offset",
+]

@@ -1,0 +1,202 @@
+"""2:4 structured sparse format (paper §2.1, Figure 1).
+
+Sparse Tensor Cores multiply a *2:4 structured sparse* LHS by a dense RHS.
+The structural contract is: in every aligned group of four consecutive
+elements along the reduction (k) dimension, **at most two are non-zero**.
+The compressed representation keeps the (up to) two surviving values per
+group, in their original order, plus a 2-bit position descriptor each.
+
+This module owns the format: validation, compression, decompression and the
+:class:`Sparse24Matrix` container used by the ``mma.sp`` emulator.
+
+Placeholder convention (paper §3.1.2): a group with fewer than two non-zeros
+stores explicit zero placeholders so each group always compresses to exactly
+two slots.  Positions inside a group are strictly increasing; a single
+non-zero at position ``p`` keeps the placeholder immediately after it
+(``p+1``), except for ``p == 3`` where the placeholder precedes it — this
+matches the paper's ``0G00 -> (G,0)`` / metadata ``(01,10)`` example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "GROUP",
+    "KEEP",
+    "is_24_sparse",
+    "violating_groups",
+    "compress_24",
+    "decompress_24",
+    "Sparse24Matrix",
+]
+
+#: group width along k (the "4" of 2:4)
+GROUP = 4
+#: surviving elements per group (the "2" of 2:4)
+KEEP = 2
+
+
+def _check_matrix(a: np.ndarray) -> np.ndarray:
+    a = np.asarray(a)
+    if a.ndim != 2:
+        raise ValueError(f"expected a 2D matrix, got ndim={a.ndim}")
+    if a.shape[1] % GROUP != 0:
+        raise ValueError(
+            f"k dimension ({a.shape[1]}) must be a multiple of {GROUP}"
+        )
+    return a
+
+
+def is_24_sparse(a: np.ndarray) -> bool:
+    """True iff every aligned 4-group of every row has <= 2 non-zeros."""
+    a = _check_matrix(a)
+    groups = (a != 0).reshape(a.shape[0], a.shape[1] // GROUP, GROUP)
+    return bool(np.all(groups.sum(axis=2) <= KEEP))
+
+
+def violating_groups(a: np.ndarray) -> np.ndarray:
+    """Indices ``(row, group)`` of groups with more than 2 non-zeros."""
+    a = _check_matrix(a)
+    groups = (a != 0).reshape(a.shape[0], a.shape[1] // GROUP, GROUP)
+    rows, grps = np.nonzero(groups.sum(axis=2) > KEEP)
+    return np.stack([rows, grps], axis=1)
+
+
+def _compress_group(vals: np.ndarray) -> Tuple[Tuple[float, float], Tuple[int, int]]:
+    """Compress one 4-wide group to two (value, position) slots."""
+    nz = np.nonzero(vals)[0]
+    if len(nz) > KEEP:
+        raise ValueError(f"group {vals} has {len(nz)} non-zeros (max {KEEP})")
+    if len(nz) == KEEP:
+        p0, p1 = int(nz[0]), int(nz[1])
+        return (float(vals[p0]), float(vals[p1])), (p0, p1)
+    if len(nz) == 1:
+        p = int(nz[0])
+        if p < GROUP - 1:
+            # value then trailing placeholder
+            return (float(vals[p]), 0.0), (p, p + 1)
+        # p == 3: placeholder precedes the value (positions must increase)
+        return (0.0, float(vals[p])), (GROUP - 2, GROUP - 1)
+    # all-zero group
+    return (0.0, 0.0), (0, 1)
+
+
+def compress_24(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Compress a 2:4-compliant matrix.
+
+    Returns
+    -------
+    values : ``(m, k/2)`` array, same dtype as the input.
+    positions : ``(m, k/2)`` uint8 array with entries in ``0..3`` —
+        the in-group position of each surviving slot.  The 2-bit hardware
+        metadata encoding lives in :mod:`repro.sptc.metadata`.
+    """
+    a = _check_matrix(a)
+    m, k = a.shape
+    ngroups = k // GROUP
+    values = np.zeros((m, ngroups * KEEP), dtype=a.dtype)
+    positions = np.zeros((m, ngroups * KEEP), dtype=np.uint8)
+    for i in range(m):
+        row = a[i]
+        for g in range(ngroups):
+            (v0, v1), (p0, p1) = _compress_group(row[g * GROUP : (g + 1) * GROUP])
+            values[i, 2 * g] = v0
+            values[i, 2 * g + 1] = v1
+            positions[i, 2 * g] = p0
+            positions[i, 2 * g + 1] = p1
+    return values, positions
+
+
+def decompress_24(
+    values: np.ndarray, positions: np.ndarray, k: int
+) -> np.ndarray:
+    """Inverse of :func:`compress_24`: scatter slots back to width ``k``."""
+    values = np.asarray(values)
+    positions = np.asarray(positions)
+    if values.shape != positions.shape:
+        raise ValueError("values and positions must have identical shapes")
+    m, half = values.shape
+    if k % GROUP or half * 2 != k:
+        raise ValueError(
+            f"inconsistent shapes: compressed width {half} does not match k={k}"
+        )
+    out = np.zeros((m, k), dtype=values.dtype)
+    ngroups = k // GROUP
+    group_idx = np.repeat(np.arange(ngroups), KEEP)  # (k/2,)
+    cols = group_idx[None, :] * GROUP + positions.astype(np.int64)
+    rows = np.broadcast_to(np.arange(m)[:, None], cols.shape)
+    # duplicate (row, col) targets would silently drop values; forbid them
+    flat = rows * k + cols
+    for i in range(m):
+        row_cols = cols[i]
+        uniq = np.unique(row_cols[values[i] != 0])
+        if uniq.size != np.count_nonzero(values[i]):
+            raise ValueError(f"row {i}: duplicate scatter positions {row_cols}")
+    out[rows.ravel(), cols.ravel()] = values.ravel()
+    return out
+
+
+@dataclass
+class Sparse24Matrix:
+    """A matrix held in 2:4 compressed form.
+
+    Attributes
+    ----------
+    values : ``(m, k/2)`` surviving values.
+    positions : ``(m, k/2)`` in-group positions (0..3).
+    k : original (dense) reduction width.
+    """
+
+    values: np.ndarray
+    positions: np.ndarray
+    k: int
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values)
+        self.positions = np.asarray(self.positions, dtype=np.uint8)
+        if self.values.shape != self.positions.shape:
+            raise ValueError("values/positions shape mismatch")
+        if self.k % GROUP != 0 or self.values.shape[1] * 2 != self.k:
+            raise ValueError("k inconsistent with compressed width")
+        if np.any(self.positions >= GROUP):
+            raise ValueError("positions must be in 0..3")
+        # strictly increasing within each 2-slot group
+        p = self.positions.reshape(self.m, -1, KEEP)
+        if np.any(p[..., 0] >= p[..., 1]):
+            raise ValueError("positions must be strictly increasing per group")
+
+    @property
+    def m(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def compressed_k(self) -> int:
+        return self.values.shape[1]
+
+    @classmethod
+    def from_dense(cls, a: np.ndarray) -> "Sparse24Matrix":
+        """Compress a 2:4-compliant dense matrix (raises if non-compliant)."""
+        a = _check_matrix(a)
+        if not is_24_sparse(a):
+            bad = violating_groups(a)
+            raise ValueError(
+                f"matrix is not 2:4 structured sparse; offending (row, group) "
+                f"pairs: {bad[:8].tolist()}{'...' if len(bad) > 8 else ''}"
+            )
+        values, positions = compress_24(a)
+        return cls(values, positions, a.shape[1])
+
+    def to_dense(self) -> np.ndarray:
+        return decompress_24(self.values, self.positions, self.k)
+
+    def storage_elements(self) -> int:
+        """Value elements stored (half the dense count)."""
+        return int(self.values.size)
+
+    def metadata_bits(self) -> int:
+        """Total metadata payload in bits (2 bits per slot)."""
+        return int(self.positions.size * 2)

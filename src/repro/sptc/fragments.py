@@ -1,0 +1,198 @@
+"""Warp fragment layouts for MMA operands.
+
+Tensor-core instructions are *warp-wide*: the 32 lanes of a warp
+collectively hold each operand in registers, with a fixed lane→element
+mapping.  The mapping matters for this reproduction because SPIDER's
+zero-cost row swapping (§3.2) is expressed *in terms of it*: the paper gives
+the RHS (B operand) thread-to-row mapping of ``mma.sp.m16n8k16`` as
+
+    offset_row = 2 * (lane_id mod 4) + 8 * floor(i / 2) + (i mod 2)
+
+with ``i in 0..3`` the per-thread element index — and implements the input
+row swap as one extra additive term on that expression.  We adopt that
+published mapping verbatim for B, and consistent row-major quad layouts for
+A, C/D and metadata.  All layouts are self-inverse-checked in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "LANES",
+    "b_fragment_coords",
+    "b_fragment_rows_paper",
+    "a_fragment_coords",
+    "acc_fragment_coords",
+    "metadata_fragment_lanes",
+    "distribute_b",
+    "collect_b",
+    "distribute_a",
+    "distribute_acc",
+    "collect_acc",
+]
+
+#: lanes per warp
+LANES = 32
+#: per-thread B elements for k=16, n=8 (128 elements / 32 lanes)
+B_ELEMS = 4
+#: per-thread compressed-A elements for m=16, k/2=8
+A_ELEMS = 4
+#: per-thread accumulator elements for m=16, n=8
+ACC_ELEMS = 4
+
+
+def b_fragment_rows_paper(lane_id: int) -> np.ndarray:
+    """The paper's §3.2 thread-to-row mapping for the B operand.
+
+    Returns the four k-rows (of the 16 k-rows of B) held by ``lane_id``.
+    """
+    if not 0 <= lane_id < LANES:
+        raise ValueError("lane_id must be in 0..31")
+    i = np.arange(B_ELEMS)
+    return 2 * (lane_id % 4) + 8 * (i // 2) + (i % 2)
+
+
+def b_fragment_coords(lane_id: int) -> np.ndarray:
+    """(row, col) pairs of the B elements held by ``lane_id``.
+
+    Rows follow :func:`b_fragment_rows_paper`; the column is the lane's quad
+    index (``lane_id // 4``), giving the 8 columns of ``n = 8``.
+    """
+    rows = b_fragment_rows_paper(lane_id)
+    col = lane_id // 4
+    return np.stack([rows, np.full(B_ELEMS, col)], axis=1)
+
+
+def a_fragment_coords(lane_id: int) -> np.ndarray:
+    """(row, col) pairs of the compressed-A (16 x 8) elements of a lane.
+
+    Layout: quad ``lane_id // 4`` owns rows ``{q, q+8}``; the lane's position
+    in the quad (``lane_id % 4``) selects a 2-column span.
+    element i -> row = (lane//4) + 8*(i//2), col = (lane%4)*2 + (i%2).
+    """
+    if not 0 <= lane_id < LANES:
+        raise ValueError("lane_id must be in 0..31")
+    i = np.arange(A_ELEMS)
+    rows = (lane_id // 4) + 8 * (i // 2)
+    cols = (lane_id % 4) * 2 + (i % 2)
+    return np.stack([rows, cols], axis=1)
+
+
+def acc_fragment_coords(lane_id: int) -> np.ndarray:
+    """(row, col) pairs of the C/D accumulator (16 x 8) elements of a lane.
+
+    Same shape family as A: row = (lane//4) + 8*(i//2), col = (lane%4)*2 + (i%2).
+    """
+    if not 0 <= lane_id < LANES:
+        raise ValueError("lane_id must be in 0..31")
+    i = np.arange(ACC_ELEMS)
+    rows = (lane_id // 4) + 8 * (i // 2)
+    cols = (lane_id % 4) * 2 + (i % 2)
+    return np.stack([rows, cols], axis=1)
+
+
+def a_dense_fragment_coords(lane_id: int) -> np.ndarray:
+    """(row, col) pairs of the *dense* A (16 x 16) elements of a lane.
+
+    Dense ``mma.m16n8k16`` gives each lane eight A elements — the
+    compressed layout of :func:`a_fragment_coords` replicated across the
+    two 8-column halves: element ``i`` lives at
+    ``row = (lane//4) + 8*((i//2) % 2)``, ``col = (lane%4)*2 + (i%2) + 8*(i//4)``.
+    """
+    if not 0 <= lane_id < LANES:
+        raise ValueError("lane_id must be in 0..31")
+    i = np.arange(8)
+    rows = (lane_id // 4) + 8 * ((i // 2) % 2)
+    cols = (lane_id % 4) * 2 + (i % 2) + 8 * (i // 4)
+    return np.stack([rows, cols], axis=1)
+
+
+def distribute_a_dense(a: np.ndarray) -> np.ndarray:
+    """Scatter a dense (16, 16) A tile into per-lane registers (32, 8)."""
+    a = np.asarray(a)
+    if a.shape != (16, 16):
+        raise ValueError(f"dense A tile must be (16, 16), got {a.shape}")
+    regs = np.zeros((LANES, 8), dtype=a.dtype)
+    for lane in range(LANES):
+        coords = a_dense_fragment_coords(lane)
+        regs[lane] = a[coords[:, 0], coords[:, 1]]
+    return regs
+
+
+def metadata_fragment_lanes(selector: int) -> np.ndarray:
+    """Lanes whose 32-bit metadata register is consumed for a selector value.
+
+    ``mma.sp.m16n8k16`` reads metadata from the 8 lanes of two thread
+    columns; the 2-bit *sparsity selector* chooses which column pair.  With
+    selector ``s`` the active lanes are those with ``lane % 4 == s``.
+    """
+    if not 0 <= selector < 4:
+        raise ValueError("selector must be in 0..3")
+    return np.arange(LANES)[np.arange(LANES) % 4 == selector]
+
+
+# ----------------------------------------------------------------------
+# Distribution / collection between matrices and per-lane register files
+# ----------------------------------------------------------------------
+
+def distribute_b(b: np.ndarray) -> np.ndarray:
+    """Scatter a (16, 8) B tile into per-lane registers (32, 4)."""
+    b = np.asarray(b)
+    if b.shape != (16, 8):
+        raise ValueError(f"B tile must be (16, 8), got {b.shape}")
+    regs = np.zeros((LANES, B_ELEMS), dtype=b.dtype)
+    for lane in range(LANES):
+        coords = b_fragment_coords(lane)
+        regs[lane] = b[coords[:, 0], coords[:, 1]]
+    return regs
+
+def collect_b(regs: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`distribute_b`."""
+    regs = np.asarray(regs)
+    if regs.shape != (LANES, B_ELEMS):
+        raise ValueError(f"expected ({LANES}, {B_ELEMS}) registers")
+    b = np.zeros((16, 8), dtype=regs.dtype)
+    for lane in range(LANES):
+        coords = b_fragment_coords(lane)
+        b[coords[:, 0], coords[:, 1]] = regs[lane]
+    return b
+
+
+def distribute_a(a_compressed: np.ndarray) -> np.ndarray:
+    """Scatter a (16, 8) compressed-A tile into per-lane registers (32, 4)."""
+    a = np.asarray(a_compressed)
+    if a.shape != (16, 8):
+        raise ValueError(f"compressed A tile must be (16, 8), got {a.shape}")
+    regs = np.zeros((LANES, A_ELEMS), dtype=a.dtype)
+    for lane in range(LANES):
+        coords = a_fragment_coords(lane)
+        regs[lane] = a[coords[:, 0], coords[:, 1]]
+    return regs
+
+
+def distribute_acc(c: np.ndarray) -> np.ndarray:
+    """Scatter a (16, 8) accumulator tile into per-lane registers (32, 4)."""
+    c = np.asarray(c)
+    if c.shape != (16, 8):
+        raise ValueError(f"accumulator tile must be (16, 8), got {c.shape}")
+    regs = np.zeros((LANES, ACC_ELEMS), dtype=c.dtype)
+    for lane in range(LANES):
+        coords = acc_fragment_coords(lane)
+        regs[lane] = c[coords[:, 0], coords[:, 1]]
+    return regs
+
+
+def collect_acc(regs: np.ndarray) -> np.ndarray:
+    """Gather per-lane accumulator registers back into a (16, 8) tile."""
+    regs = np.asarray(regs)
+    if regs.shape != (LANES, ACC_ELEMS):
+        raise ValueError(f"expected ({LANES}, {ACC_ELEMS}) registers")
+    c = np.zeros((16, 8), dtype=regs.dtype)
+    for lane in range(LANES):
+        coords = acc_fragment_coords(lane)
+        c[coords[:, 0], coords[:, 1]] = regs[lane]
+    return c

@@ -1,0 +1,101 @@
+"""Instruction stream accounting for the emulated GPU kernel.
+
+The emulator is not cycle-accurate; it is *event*-accurate: every emulated
+hardware action (an ``mma``/``mma.sp`` issue, a shared-memory load, a global
+transaction, an integer ALU op that survives constant folding) is recorded
+here.  Table 3 of the paper compares instruction counts between kernels with
+and without runtime row swapping — :class:`InstructionStream` is what makes
+that comparison measurable in this reproduction.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Op", "InstructionStream"]
+
+
+@dataclass(frozen=True)
+class Op:
+    """One emitted instruction.
+
+    ``kind`` is a coarse opcode class (``mma.sp``, ``mma``, ``lds``, ``ldg``,
+    ``sts``, ``stg``, ``ialu``, ``falu``); ``detail`` carries the shape or
+    width (e.g. ``m16n8k16``); ``count`` allows bulk recording.
+    """
+
+    kind: str
+    detail: str = ""
+    count: int = 1
+
+
+class InstructionStream:
+    """Accumulates emitted instructions and derived statistics."""
+
+    #: opcode classes with architectural meaning in the timing model
+    KINDS = ("mma", "mma.sp", "lds", "sts", "ldg", "stg", "ialu", "falu", "bar")
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+        self._detail_counts: Counter = Counter()
+        self._bytes: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, detail: str = "", count: int = 1, nbytes: int = 0) -> None:
+        """Record ``count`` instructions of class ``kind``.
+
+        ``nbytes`` attributes data volume to memory opcodes (used by the
+        memory-throughput model).
+        """
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self._counts[kind] += count
+        if detail:
+            self._detail_counts[(kind, detail)] += count
+        if nbytes:
+            self._bytes[kind] += nbytes
+
+    def emit_op(self, op: Op) -> None:
+        self.emit(op.kind, op.detail, op.count)
+
+    # ------------------------------------------------------------------
+    def count(self, kind: Optional[str] = None) -> int:
+        """Total instructions, optionally restricted to one class."""
+        if kind is None:
+            return sum(self._counts.values())
+        return self._counts.get(kind, 0)
+
+    def count_detail(self, kind: str, detail: str) -> int:
+        return self._detail_counts.get((kind, detail), 0)
+
+    def bytes_moved(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return sum(self._bytes.values())
+        return self._bytes.get(kind, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict view of per-class totals."""
+        return dict(self._counts)
+
+    def merge(self, other: "InstructionStream") -> "InstructionStream":
+        self._counts.update(other._counts)
+        self._detail_counts.update(other._detail_counts)
+        self._bytes.update(other._bytes)
+        return self
+
+    def reset(self) -> None:
+        self._counts.clear()
+        self._detail_counts.clear()
+        self._bytes.clear()
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, InstructionStream):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"InstructionStream({parts})"

@@ -1,0 +1,186 @@
+"""Hardware metadata encoding for the 2:4 sparse format (Figure 5, stage 3).
+
+Each surviving slot of a compressed row carries a 2-bit descriptor — its
+position inside the 4-wide group.  Descriptors are packed little-endian:
+"all metadata is stored in an increasing order, starting from the least
+significant bit within each segment" (§3.1.2).  A 16-wide kernel-matrix row
+(4 groups × 2 slots × 2 bits) therefore packs into one 16-bit word, exactly
+as drawn in the paper's Figure 5.
+
+The ``mma.sp.m16n8k16`` instruction consumes metadata through one 32-bit
+register per participating thread; §3.3.2 / Figure 9 packs the metadata of
+*several* MMA invocations into those registers and selects the active bits
+with the *sparsity selector*.  :func:`pack_metadata_words` and
+:class:`MetadataRegisterFile` implement both the naive and the packed
+layouts so the register-saving claim is measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .formats import GROUP, KEEP
+
+__all__ = [
+    "encode_positions",
+    "decode_positions",
+    "encode_row_word",
+    "decode_row_word",
+    "pack_metadata_words",
+    "unpack_metadata_words",
+    "MetadataRegisterFile",
+]
+
+_BITS_PER_SLOT = 2
+_SLOT_MASK = (1 << _BITS_PER_SLOT) - 1
+
+
+def encode_positions(positions: np.ndarray) -> np.ndarray:
+    """Encode an ``(m, k/2)`` position matrix into per-row packed integers.
+
+    Returns an ``(m,)`` array of Python-int-sized values; each row packs its
+    slots at bit offsets ``0, 2, 4, ...`` (LSB first).
+    """
+    positions = np.asarray(positions)
+    if positions.ndim != 2:
+        raise ValueError("positions must be 2D")
+    if np.any(positions >= GROUP):
+        raise ValueError("positions must be in 0..3")
+    m, half = positions.shape
+    out = np.zeros(m, dtype=object)
+    for i in range(m):
+        word = 0
+        for s in range(half):
+            word |= int(positions[i, s]) << (_BITS_PER_SLOT * s)
+        out[i] = word
+    return out
+
+
+def decode_positions(words: np.ndarray, half: int) -> np.ndarray:
+    """Inverse of :func:`encode_positions`."""
+    words = np.asarray(words)
+    m = words.shape[0]
+    out = np.zeros((m, half), dtype=np.uint8)
+    for i in range(m):
+        word = int(words[i])
+        for s in range(half):
+            out[i, s] = (word >> (_BITS_PER_SLOT * s)) & _SLOT_MASK
+    return out
+
+
+def encode_row_word(row_positions: np.ndarray) -> int:
+    """Pack one compressed row's positions into a single integer word."""
+    word = 0
+    for s, p in enumerate(np.asarray(row_positions)):
+        p = int(p)
+        if not 0 <= p < GROUP:
+            raise ValueError(f"position {p} out of range")
+        word |= p << (_BITS_PER_SLOT * s)
+    return word
+
+
+def decode_row_word(word: int, half: int) -> np.ndarray:
+    """Inverse of :func:`encode_row_word`."""
+    return np.array(
+        [(word >> (_BITS_PER_SLOT * s)) & _SLOT_MASK for s in range(half)],
+        dtype=np.uint8,
+    )
+
+
+def pack_metadata_words(
+    positions: np.ndarray, word_bits: int = 32
+) -> Tuple[np.ndarray, int]:
+    """Pack per-row metadata into fixed-width machine words.
+
+    Rows are packed densely: row ``i``'s payload (``2 * k/2`` bits) starts at
+    bit ``i * payload`` of the concatenated stream, which is then chopped
+    into ``word_bits``-wide words (this matches packing two 16-bit row words
+    per 32-bit register, Figure 9 left).
+
+    Returns ``(words, payload_bits_per_row)``.
+    """
+    positions = np.asarray(positions)
+    m, half = positions.shape
+    payload = half * _BITS_PER_SLOT
+    stream = 0
+    for i in range(m):
+        stream |= int(encode_row_word(positions[i])) << (i * payload)
+    total_bits = m * payload
+    nwords = (total_bits + word_bits - 1) // word_bits
+    words = np.zeros(nwords, dtype=np.uint64)
+    mask = (1 << word_bits) - 1
+    for wi in range(nwords):
+        words[wi] = (stream >> (wi * word_bits)) & mask
+    return words, payload
+
+
+def unpack_metadata_words(
+    words: np.ndarray, m: int, half: int, word_bits: int = 32
+) -> np.ndarray:
+    """Inverse of :func:`pack_metadata_words`."""
+    payload = half * _BITS_PER_SLOT
+    stream = 0
+    for wi, w in enumerate(np.asarray(words)):
+        stream |= int(w) << (wi * word_bits)
+    out = np.zeros((m, half), dtype=np.uint8)
+    for i in range(m):
+        row_word = (stream >> (i * payload)) & ((1 << payload) - 1)
+        out[i] = decode_row_word(row_word, half)
+    return out
+
+
+@dataclass
+class MetadataRegisterFile:
+    """Models per-thread metadata register allocation for ``mma.sp``.
+
+    The SpTC specification mandates one 32-bit metadata register per thread
+    per instruction, but only eight threads' registers are actually read
+    (selected by the *sparsity selector*).  §3.3.2 concatenates the metadata
+    of ``group_size`` MMA invocations and cycles the selector instead of
+    allocating fresh registers — cutting the per-thread metadata register
+    footprint by ``group_size``.
+
+    This class only does the bookkeeping; the functional bits live in the
+    packing functions above.
+    """
+
+    num_mma: int
+    group_size: int = 1
+    word_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.num_mma < 1:
+            raise ValueError("num_mma must be >= 1")
+        if self.group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        # each mma.sp.m16n8k16 consumes 8 threads x 32 bits of metadata;
+        # a selector can address `selector_slots` positions per register
+        self.selector_slots = 4  # PTX sparsity selector range {0,1,2,3}
+        if self.group_size > self.selector_slots:
+            raise ValueError(
+                f"cannot pack {self.group_size} MMAs behind one register; "
+                f"selector addresses at most {self.selector_slots}"
+            )
+
+    @property
+    def registers_per_thread_naive(self) -> int:
+        """One dedicated metadata register per MMA invocation."""
+        return self.num_mma
+
+    @property
+    def registers_per_thread_packed(self) -> int:
+        """Registers after Figure-9 group packing."""
+        return -(-self.num_mma // self.group_size)  # ceil division
+
+    @property
+    def register_savings(self) -> int:
+        return self.registers_per_thread_naive - self.registers_per_thread_packed
+
+    def selector_for(self, mma_index: int) -> int:
+        """Sparsity selector value used by the ``mma_index``-th invocation."""
+        if not 0 <= mma_index < self.num_mma:
+            raise ValueError("mma_index out of range")
+        return mma_index % self.group_size

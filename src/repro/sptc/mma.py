@@ -1,0 +1,171 @@
+"""Dense tensor-core MMA semantics.
+
+``mma.m16n8k16`` (and the k=8 variant) computes ``D = A @ B + C`` on
+per-warp tiles: A is ``m x k``, B is ``k x n``, C/D are ``m x n``.  Inputs
+are FP16 (or TF32/FP64 in other variants); accumulation is FP32.
+
+The emulator exposes two precision modes:
+
+* ``"fp16"`` — inputs rounded to float16, products/accumulation in float32,
+  matching Ampere tensor-core numerics closely enough for error studies;
+* ``"exact"`` — float64 throughout, used by the mathematical-equivalence
+  test suite where bit-level agreement with the reference is asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .instruction import InstructionStream
+
+__all__ = [
+    "MmaShape",
+    "MMA_M16N8K16",
+    "MMA_M16N8K8",
+    "mma_dense",
+    "mma_dense_lanewise",
+    "MmaPrecision",
+]
+
+
+@dataclass(frozen=True)
+class MmaShape:
+    """Instruction tile shape ``(m, n, k)``."""
+
+    m: int
+    n: int
+    k: int
+
+    @property
+    def name(self) -> str:
+        return f"m{self.m}n{self.n}k{self.k}"
+
+    @property
+    def flops(self) -> int:
+        """MAC-pair FLOPs per issue (2 * m * n * k)."""
+        return 2 * self.m * self.n * self.k
+
+
+MMA_M16N8K16 = MmaShape(16, 8, 16)
+MMA_M16N8K8 = MmaShape(16, 8, 8)
+
+
+class MmaPrecision:
+    """Emulated datapath precisions (see module docstring)."""
+
+    FP16 = "fp16"
+    EXACT = "exact"
+
+    _VALID = (FP16, EXACT)
+
+    @classmethod
+    def validate(cls, precision: str) -> str:
+        if precision not in cls._VALID:
+            raise ValueError(
+                f"precision must be one of {cls._VALID}, got {precision!r}"
+            )
+        return precision
+
+
+def _cast_inputs(a: np.ndarray, b: np.ndarray, precision: str):
+    if precision == MmaPrecision.FP16:
+        # round inputs to fp16 storage, compute in fp32 like the hardware
+        return (
+            a.astype(np.float16).astype(np.float32),
+            b.astype(np.float16).astype(np.float32),
+            np.float32,
+        )
+    return a.astype(np.float64), b.astype(np.float64), np.float64
+
+
+def mma_dense(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: Optional[np.ndarray] = None,
+    shape: MmaShape = MMA_M16N8K16,
+    precision: str = MmaPrecision.FP16,
+    stream: Optional[InstructionStream] = None,
+) -> np.ndarray:
+    """One dense MMA issue: ``D = A @ B + C`` on an (m, k) x (k, n) tile.
+
+    Raises if the operand shapes do not match the instruction shape —
+    the emulator never silently pads.
+    """
+    precision = MmaPrecision.validate(precision)
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != (shape.m, shape.k):
+        raise ValueError(f"A must be {(shape.m, shape.k)}, got {a.shape}")
+    if b.shape != (shape.k, shape.n):
+        raise ValueError(f"B must be {(shape.k, shape.n)}, got {b.shape}")
+    a_c, b_c, acc_dtype = _cast_inputs(a, b, precision)
+    d = a_c @ b_c
+    if c is not None:
+        c = np.asarray(c)
+        if c.shape != (shape.m, shape.n):
+            raise ValueError(f"C must be {(shape.m, shape.n)}, got {c.shape}")
+        d = d + c.astype(acc_dtype)
+    if stream is not None:
+        stream.emit("mma", shape.name)
+    return d.astype(acc_dtype)
+
+
+def mma_dense_lanewise(
+    a: np.ndarray,
+    b_regs: np.ndarray,
+    c_regs: Optional[np.ndarray] = None,
+    *,
+    precision: str = MmaPrecision.FP16,
+    stream: Optional[InstructionStream] = None,
+) -> np.ndarray:
+    """Per-lane fragment emulation of dense ``mma.m16n8k16``.
+
+    The dense counterpart to :func:`repro.sptc.mma_sp.mma_sp_lanewise`,
+    used by the ablation's *SPIDER w. TC* stage and the fragment-layout
+    tests.  ``a`` is the dense (16, 16) tile; ``b_regs``/``c_regs`` are
+    per-lane register files in the shared fragment layouts.
+
+    Returns (32, 4) per-lane D registers.
+    """
+    from . import fragments  # local import to avoid a cycle at module load
+
+    precision = MmaPrecision.validate(precision)
+    a = np.asarray(a)
+    if a.shape != (16, 16):
+        raise ValueError(f"dense A tile must be (16, 16), got {a.shape}")
+    b_regs = np.asarray(b_regs)
+    if b_regs.shape != (fragments.LANES, 4):
+        raise ValueError("b_regs must be (32, 4)")
+
+    if precision == MmaPrecision.FP16:
+        acc_dtype = np.float32
+        cast = lambda x: np.asarray(x, dtype=np.float64).astype(np.float16).astype(np.float32)
+    else:
+        acc_dtype = np.float64
+        cast = lambda x: np.asarray(x, dtype=np.float64)
+
+    # register files round-trip through the lane layouts, exactly as the
+    # datapath sees them
+    a_regs = fragments.distribute_a_dense(a)
+    a_tile = np.zeros((16, 16), dtype=np.float64)
+    for lane in range(fragments.LANES):
+        coords = fragments.a_dense_fragment_coords(lane)
+        a_tile[coords[:, 0], coords[:, 1]] = a_regs[lane]
+    b_tile = fragments.collect_b(b_regs)
+
+    d = cast(a_tile) @ cast(b_tile)
+    d_regs = np.zeros((fragments.LANES, 4), dtype=acc_dtype)
+    for lane in range(fragments.LANES):
+        coords = fragments.acc_fragment_coords(lane)
+        d_regs[lane] = d[coords[:, 0], coords[:, 1]]
+    if c_regs is not None:
+        c_regs = np.asarray(c_regs)
+        if c_regs.shape != (fragments.LANES, 4):
+            raise ValueError("c_regs must be (32, 4)")
+        d_regs = d_regs + c_regs.astype(acc_dtype)
+    if stream is not None:
+        stream.emit("mma", "m16n8k16")
+    return d_regs

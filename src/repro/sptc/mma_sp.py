@@ -1,0 +1,250 @@
+"""Sparse tensor-core ``mma.sp`` semantics (paper §2.1, Figure 1).
+
+``mma.sp.m16n8k16`` multiplies a 2:4 structured sparse A (16 x 16, stored
+compressed as 16 x 8 values + 2-bit metadata) by a dense B (16 x 8):
+a *selection stage* uses the metadata to pick, for every surviving A slot,
+the matching k-row of B, and only then applies the MAC — so only half the
+products of the dense instruction are computed.
+
+Two execution paths are provided:
+
+* :func:`mma_sp` — matrix-level, vectorized; the fast path used by the
+  SPIDER executor.
+* :func:`mma_sp_lanewise` — per-lane fragment emulation using the layouts of
+  :mod:`repro.sptc.fragments`, including the metadata register file and the
+  sparsity selector.  Slow, but it executes the *mechanism*; the test suite
+  asserts it agrees with the matrix path element-for-element.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import fragments
+from .formats import GROUP, KEEP, Sparse24Matrix
+from .instruction import InstructionStream
+from .metadata import decode_row_word, encode_row_word
+from .mma import MmaPrecision, MmaShape
+
+__all__ = [
+    "MMA_SP_M16N8K16",
+    "MMA_SP_M16N8K32",
+    "mma_sp",
+    "mma_sp_lanewise",
+    "sparse_matmul",
+]
+
+#: sparse tile shapes: k is the *logical* (dense) reduction width
+MMA_SP_M16N8K16 = MmaShape(16, 8, 16)
+MMA_SP_M16N8K32 = MmaShape(16, 8, 32)
+
+
+def _selection_gather(
+    values: np.ndarray, positions: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """The SpTC selection stage: pick B rows named by the metadata.
+
+    For compressed slot ``(i, s)`` in group ``g = s // 2`` the hardware reads
+    ``B[4 * g + positions[i, s], :]``.  Returns the (m, k/2, n) tensor of
+    selected B rows, ready for the MAC stage.
+    """
+    m, half = values.shape
+    group_of_slot = np.repeat(np.arange(half // KEEP), KEEP)  # (k/2,)
+    brows = group_of_slot[None, :] * GROUP + positions.astype(np.int64)  # (m, k/2)
+    return b[brows]  # (m, k/2, n)
+
+
+def sparse_matmul(
+    a: Sparse24Matrix,
+    b: np.ndarray,
+    precision: str = MmaPrecision.FP16,
+    stream: Optional[InstructionStream] = None,
+    shape: MmaShape = MMA_SP_M16N8K16,
+) -> np.ndarray:
+    """Arbitrary-shape SpMM with ``mma.sp`` *semantics* (select-then-MAC).
+
+    This is the vectorized fast path used by the SPIDER executor: the same
+    selection-gather datapath as :func:`mma_sp`, applied to a whole
+    ``(m, k)`` x ``(k, n)`` product at once.  When ``stream`` is given, the
+    number of ``mma.sp`` issues a tiled hardware execution would need
+    (``ceil(m/16) * ceil(n/8) * ceil(k/16)`` for the default shape) is
+    recorded, so instruction statistics match the lanewise path.
+    """
+    precision = MmaPrecision.validate(precision)
+    b = np.asarray(b)
+    if b.ndim != 2 or b.shape[0] != a.k:
+        raise ValueError(
+            f"B must be ({a.k}, n); got {b.shape}"
+        )
+    if precision == MmaPrecision.FP16:
+        vals = a.values.astype(np.float16).astype(np.float32)
+        b_c = b.astype(np.float16).astype(np.float32)
+    else:
+        vals = a.values.astype(np.float64)
+        b_c = b.astype(np.float64)
+    selected = _selection_gather(vals, a.positions, b_c)  # (m, k/2, n)
+    d = np.einsum("ms,msn->mn", vals, selected)
+    if stream is not None:
+        issues = (
+            -(-a.m // shape.m) * -(-b.shape[1] // shape.n) * -(-a.k // shape.k)
+        )
+        stream.emit("mma.sp", shape.name, count=issues)
+    return d
+
+
+def mma_sp(
+    a: Sparse24Matrix,
+    b: np.ndarray,
+    c: Optional[np.ndarray] = None,
+    shape: MmaShape = MMA_SP_M16N8K16,
+    precision: str = MmaPrecision.FP16,
+    stream: Optional[InstructionStream] = None,
+) -> np.ndarray:
+    """One ``mma.sp`` issue: ``D = select(A, meta) . B + C``.
+
+    ``a.k`` must equal ``shape.k`` (the logical reduction width); B must be
+    ``(k, n)``; C/D are ``(m, n)``.
+    """
+    precision = MmaPrecision.validate(precision)
+    b = np.asarray(b)
+    if a.m != shape.m or a.k != shape.k:
+        raise ValueError(
+            f"A must be logical ({shape.m}, {shape.k}); got ({a.m}, {a.k})"
+        )
+    if b.shape != (shape.k, shape.n):
+        raise ValueError(f"B must be {(shape.k, shape.n)}, got {b.shape}")
+    if precision == MmaPrecision.FP16:
+        vals = a.values.astype(np.float16).astype(np.float32)
+        b_c = b.astype(np.float16).astype(np.float32)
+        acc_dtype = np.float32
+    else:
+        vals = a.values.astype(np.float64)
+        b_c = b.astype(np.float64)
+        acc_dtype = np.float64
+    selected = _selection_gather(vals, a.positions, b_c)  # (m, k/2, n)
+    d = np.einsum("ms,msn->mn", vals, selected)
+    if c is not None:
+        c = np.asarray(c)
+        if c.shape != (shape.m, shape.n):
+            raise ValueError(f"C must be {(shape.m, shape.n)}, got {c.shape}")
+        d = d + c.astype(acc_dtype)
+    if stream is not None:
+        stream.emit("mma.sp", shape.name)
+    return d.astype(acc_dtype)
+
+
+def mma_sp_lanewise(
+    a: Sparse24Matrix,
+    b_regs: np.ndarray,
+    c_regs: Optional[np.ndarray] = None,
+    *,
+    metadata_regs: Optional[np.ndarray] = None,
+    selector: int = 0,
+    precision: str = MmaPrecision.FP16,
+    stream: Optional[InstructionStream] = None,
+) -> np.ndarray:
+    """Per-lane fragment emulation of ``mma.sp.m16n8k16``.
+
+    Parameters
+    ----------
+    a:
+        Compressed LHS with logical k = 16 (values are distributed to lanes
+        internally via the A fragment layout).
+    b_regs:
+        (32, 4) per-lane B registers as produced by
+        :func:`repro.sptc.fragments.distribute_b` — i.e. already loaded from
+        shared memory by the kernel's addressing code.  SPIDER's runtime row
+        swapping happens *upstream of this argument*.
+    c_regs:
+        Optional (32, 4) per-lane accumulator registers.
+    metadata_regs:
+        (32,) uint32 per-lane metadata registers.  Only the 8 lanes selected
+        by ``selector`` are read, mirroring the hardware.  When omitted, the
+        registers are synthesized from ``a.positions``.
+    selector:
+        Sparsity selector in 0..3 choosing the active metadata lanes.
+
+    Returns
+    -------
+    (32, 4) per-lane D registers (gather with
+    :func:`repro.sptc.fragments.collect_acc`).
+    """
+    precision = MmaPrecision.validate(precision)
+    if a.m != 16 or a.k != 16:
+        raise ValueError("lanewise path implements the m16n8k16 tile only")
+    b_regs = np.asarray(b_regs)
+    if b_regs.shape != (fragments.LANES, 4):
+        raise ValueError("b_regs must be (32, 4)")
+
+    if metadata_regs is None:
+        metadata_regs = synthesize_metadata_registers(a, selector)
+    metadata_regs = np.asarray(metadata_regs, dtype=np.uint64)
+    if metadata_regs.shape != (fragments.LANES,):
+        raise ValueError("metadata_regs must be (32,)")
+
+    if precision == MmaPrecision.FP16:
+        acc_dtype = np.float32
+        cast = lambda x: np.asarray(x, dtype=np.float64).astype(np.float16).astype(np.float32)
+    else:
+        acc_dtype = np.float64
+        cast = lambda x: np.asarray(x, dtype=np.float64)
+
+    # --- reconstruct warp-visible operands from register files ------------
+    a_regs = fragments.distribute_a(a.values.astype(np.float64))
+    # B as seen through lanes (the selection stage reads B *rows*; rebuild
+    # the tile from the register file exactly as the datapath crossbar does)
+    b_tile = fragments.collect_b(b_regs)
+
+    # metadata: active lanes each hold two compressed rows (16 bits each)
+    active = fragments.metadata_fragment_lanes(selector)
+    positions = np.zeros((16, 8), dtype=np.uint8)
+    for j, lane in enumerate(active):
+        word = int(metadata_regs[lane])
+        lo = word & 0xFFFF
+        hi = (word >> 16) & 0xFFFF
+        positions[j] = decode_row_word(lo, 8)
+        positions[j + 8] = decode_row_word(hi, 8)
+
+    # --- selection + MAC, lane by lane ------------------------------------
+    d_regs = np.zeros((fragments.LANES, 4), dtype=acc_dtype)
+    a_dense_vals = cast(a.values)
+    b_cast = cast(b_tile)
+    for lane in range(fragments.LANES):
+        coords = fragments.acc_fragment_coords(lane)
+        for e in range(4):
+            row, col = int(coords[e, 0]), int(coords[e, 1])
+            acc = acc_dtype(0.0)
+            for s in range(8):  # compressed k slots
+                g = s // KEEP
+                brow = GROUP * g + int(positions[row, s])
+                acc += a_dense_vals[row, s] * b_cast[brow, col]
+            d_regs[lane, e] = acc
+    if c_regs is not None:
+        c_regs = np.asarray(c_regs)
+        if c_regs.shape != (fragments.LANES, 4):
+            raise ValueError("c_regs must be (32, 4)")
+        d_regs = d_regs + c_regs.astype(acc_dtype)
+    if stream is not None:
+        stream.emit("mma.sp", "m16n8k16")
+    return d_regs
+
+
+def synthesize_metadata_registers(a: Sparse24Matrix, selector: int = 0) -> np.ndarray:
+    """Build the (32,) per-lane metadata register file for an m16n8k16 tile.
+
+    Each active lane (``lane % 4 == selector``) holds two compressed rows:
+    row ``j`` in bits 0..15 and row ``j + 8`` in bits 16..31, where ``j`` is
+    the lane's index within the active set.  Inactive lanes hold zero (the
+    hardware ignores them).
+    """
+    if a.m != 16 or a.compressed_k != 8:
+        raise ValueError("metadata registers are defined for 16x8 compressed tiles")
+    regs = np.zeros(fragments.LANES, dtype=np.uint64)
+    active = fragments.metadata_fragment_lanes(selector)
+    for j, lane in enumerate(active):
+        lo = encode_row_word(a.positions[j])
+        hi = encode_row_word(a.positions[j + 8])
+        regs[lane] = np.uint64(lo | (hi << 16))
+    return regs

@@ -1,0 +1,135 @@
+"""A cuSPARSELt-style structured-sparse matmul library layer.
+
+The paper (§5) notes "the straightforward approach to leverage Sparse ALUs
+utilizes vendor-provided libraries like cuSPARSELt".  This module mirrors
+that library's workflow on top of the emulator primitives, both as a
+usability layer and as the comparison point for SPIDER's thesis: a generic
+prune-based library *cannot* be used for stencils because pruning destroys
+values (§2.4.2's mathematical-equivalence argument) — here that is a
+checkable fact: :func:`prune_24` on a stencil kernel matrix changes the
+product unless the matrix already satisfies 2:4 (which is exactly what the
+strided swap arranges).
+
+Workflow (mirroring cusparseLt's init → prune → compress → plan → matmul):
+
+>>> handle = SpmmHandle()
+>>> pruned = prune_24(a)                      # magnitude-based 2:4 pruning
+>>> plan = handle.plan(pruned, n_cols)        # compress + tile plan
+>>> d = handle.matmul(plan, b)                # executes on emulated mma.sp
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .formats import GROUP, KEEP, Sparse24Matrix, is_24_sparse
+from .instruction import InstructionStream
+from .mma import MmaPrecision
+from .mma_sp import sparse_matmul
+
+__all__ = ["prune_24", "prune_error", "SpmmPlan", "SpmmHandle"]
+
+
+def prune_24(a: np.ndarray) -> np.ndarray:
+    """Magnitude-based 2:4 pruning: keep the two largest-|.| entries per
+    aligned 4-group, zero the rest (the standard deep-learning recipe).
+
+    Lossless iff the input already satisfies the 2:4 pattern.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2 or a.shape[1] % GROUP:
+        raise ValueError("expected (m, k) with k a multiple of 4")
+    out = np.zeros_like(a)
+    m, k = a.shape
+    groups = a.reshape(m, k // GROUP, GROUP)
+    # indices of the two largest magnitudes per group
+    order = np.argsort(np.abs(groups), axis=2)
+    keep = order[:, :, -KEEP:]
+    rows = np.arange(m)[:, None, None]
+    grps = np.arange(k // GROUP)[None, :, None]
+    out_g = out.reshape(m, k // GROUP, GROUP)
+    out_g[rows, grps, keep] = groups[rows, grps, keep]
+    return out
+
+
+def prune_error(a: np.ndarray) -> float:
+    """Relative Frobenius error pruning would introduce.
+
+    Zero iff ``a`` is already 2:4 — the quantitative form of §2.4.2's
+    "pruning is fundamentally inapplicable to scientific workloads".
+    """
+    a = np.asarray(a, dtype=np.float64)
+    denom = max(float(np.linalg.norm(a)), np.finfo(np.float64).eps)
+    return float(np.linalg.norm(a - prune_24(a)) / denom)
+
+
+@dataclass
+class SpmmPlan:
+    """A compressed operand plus the geometry the matmul was planned for."""
+
+    sparse: Sparse24Matrix
+    n_cols: int
+    precision: str = MmaPrecision.FP16
+
+    @property
+    def m(self) -> int:
+        return self.sparse.m
+
+    @property
+    def k(self) -> int:
+        return self.sparse.k
+
+
+class SpmmHandle:
+    """Library context: owns the instruction stream and validates inputs,
+    the way a cusparseLt handle owns device state."""
+
+    def __init__(self, stream: Optional[InstructionStream] = None) -> None:
+        self.stream = stream or InstructionStream()
+
+    def plan(
+        self,
+        a: np.ndarray,
+        n_cols: int,
+        precision: str = MmaPrecision.FP16,
+    ) -> SpmmPlan:
+        """Compress a 2:4-compliant LHS and fix the RHS geometry.
+
+        Raises if ``a`` violates the pattern — the library never prunes
+        silently; call :func:`prune_24` explicitly (and own the error).
+        """
+        if n_cols < 1:
+            raise ValueError("n_cols must be >= 1")
+        if not is_24_sparse(np.asarray(a)):
+            raise ValueError(
+                "matrix is not 2:4 structured sparse; prune_24() it first "
+                "(lossy!) or transform it losslessly (SPIDER's strided swap)"
+            )
+        MmaPrecision.validate(precision)
+        return SpmmPlan(
+            sparse=Sparse24Matrix.from_dense(np.asarray(a, dtype=np.float64)),
+            n_cols=n_cols,
+            precision=precision,
+        )
+
+    def matmul(
+        self, plan: SpmmPlan, b: np.ndarray, c: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Execute ``D = A @ B (+ C)`` on the emulated sparse tensor cores."""
+        b = np.asarray(b)
+        if b.shape != (plan.k, plan.n_cols):
+            raise ValueError(
+                f"B must be ({plan.k}, {plan.n_cols}); got {b.shape}"
+            )
+        d = sparse_matmul(
+            plan.sparse, b, precision=plan.precision, stream=self.stream
+        )
+        if c is not None:
+            c = np.asarray(c)
+            if c.shape != d.shape:
+                raise ValueError(f"C must be {d.shape}, got {c.shape}")
+            d = d + c
+        return d

@@ -1,0 +1,114 @@
+"""Warp-level execution context.
+
+A :class:`Warp` bundles the 32-lane register machinery the SPIDER kernel
+uses around each ``mma.sp`` issue: gathering B fragments out of a shared
+memory tile through a per-lane *row-offset function* (this is exactly where
+§3.2's zero-cost row swapping lives), and tracking the addresses touched so
+the memory model can audit transactions and bank conflicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from . import fragments
+from .instruction import InstructionStream
+
+__all__ = ["Warp", "B_ELEMS_PER_LANE", "default_b_row_offset"]
+
+B_ELEMS_PER_LANE = 4
+
+
+def default_b_row_offset(lane_id: int, i: int) -> int:
+    """The paper's baseline thread-to-row mapping for the B operand (§3.2).
+
+    ``offset_row = 2 * (lane_id mod 4) + 8 * floor(i/2) + (i mod 2)``
+    """
+    return 2 * (lane_id % 4) + 8 * (i // 2) + (i % 2)
+
+
+@dataclass
+class Warp:
+    """One warp's register file view plus instruction accounting.
+
+    Parameters
+    ----------
+    stream:
+        Instruction stream to record into (shared across warps of a block in
+        the executor).
+    elem_bytes:
+        Storage bytes per element (2 for FP16).
+    """
+
+    stream: InstructionStream = field(default_factory=InstructionStream)
+    elem_bytes: int = 2
+
+    # ------------------------------------------------------------------
+    def load_b_fragment(
+        self,
+        smem: np.ndarray,
+        *,
+        k_base: int,
+        n_base: int,
+        row_offset_fn: Callable[[int, int], int] = default_b_row_offset,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Move a B fragment from a shared-memory tile into registers.
+
+        ``smem`` is the block's shared-memory tile laid out ``(k, n)``;
+        ``k_base``/``n_base`` locate this warp's (16, 8) sub-tile;
+        ``row_offset_fn(lane, i)`` yields the *relative* k-row each lane
+        element reads — the identity mapping is
+        :func:`default_b_row_offset`, and SPIDER's runtime row swapping is
+        implemented by passing a different function here (see
+        :mod:`repro.core.row_swap`).
+
+        Returns ``(regs, addresses)``: the (32, 4) register file and the
+        (32, 4) flat element addresses touched (for the memory model).
+        Out-of-range rows read as zero (they correspond to halo padding that
+        the block-level loader did not materialize).
+        """
+        regs = np.zeros((fragments.LANES, B_ELEMS_PER_LANE), dtype=smem.dtype)
+        addrs = np.full((fragments.LANES, B_ELEMS_PER_LANE), -1, dtype=np.int64)
+        k_extent, n_extent = smem.shape
+        for lane in range(fragments.LANES):
+            col = n_base + lane // 4
+            for i in range(B_ELEMS_PER_LANE):
+                row = k_base + row_offset_fn(lane, i)
+                if 0 <= row < k_extent and 0 <= col < n_extent:
+                    regs[lane, i] = smem[row, col]
+                    addrs[lane, i] = row * n_extent + col
+        # one shared-memory load instruction per element per lane; the warp
+        # issues them SIMT-wide, so count per-lane-element issues once per
+        # element index (32 lanes execute one LDS together)
+        self.stream.emit(
+            "lds",
+            "b_fragment",
+            count=B_ELEMS_PER_LANE,
+            nbytes=fragments.LANES * B_ELEMS_PER_LANE * self.elem_bytes,
+        )
+        return regs, addrs
+
+    # ------------------------------------------------------------------
+    def store_acc_fragment(
+        self,
+        out: np.ndarray,
+        regs: np.ndarray,
+        *,
+        m_base: int,
+        n_base: int,
+    ) -> None:
+        """Write a (32, 4) accumulator register file to the output tile."""
+        tile = fragments.collect_acc(np.asarray(regs))
+        m_extent, n_extent = out.shape
+        m_hi = min(m_base + 16, m_extent)
+        n_hi = min(n_base + 8, n_extent)
+        out[m_base:m_hi, n_base:n_hi] += tile[: m_hi - m_base, : n_hi - n_base]
+        self.stream.emit(
+            "stg",
+            "acc_fragment",
+            count=fragments.ACC_ELEMS,
+            nbytes=fragments.LANES * fragments.ACC_ELEMS * 4,
+        )

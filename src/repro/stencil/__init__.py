@@ -1,0 +1,75 @@
+"""Stencil problem substrate: specs, grids, golden references, workloads."""
+
+from .distributed import (
+    DistributedStencil,
+    DomainDecomposition,
+    LocalWorld,
+    Subdomain,
+    halo_traffic,
+)
+from .grid import BoundaryCondition, Grid
+from .reference import (
+    l2_error,
+    max_abs_error,
+    naive_stencil,
+    run_iterations,
+    vectorized_stencil,
+)
+from .solvers import SolveResult, jacobi_poisson, power_iteration, richardson
+from .spec import (
+    ShapeType,
+    StencilSpec,
+    box_mask,
+    make_box_kernel,
+    make_star_kernel,
+    named_stencil,
+    star_mask,
+)
+from .workloads import (
+    FIG11_1D_SIZES,
+    FIG11_2D_SIZES,
+    FIG12_SIZES,
+    PAPER_1D_SIZE,
+    PAPER_2D_SIZE,
+    PAPER_SHAPE_IDS,
+    Workload,
+    make_workload,
+    paper_benchmark_suite,
+    paper_size_sweep,
+)
+
+__all__ = [
+    "DistributedStencil",
+    "DomainDecomposition",
+    "LocalWorld",
+    "Subdomain",
+    "halo_traffic",
+    "BoundaryCondition",
+    "Grid",
+    "ShapeType",
+    "StencilSpec",
+    "Workload",
+    "box_mask",
+    "star_mask",
+    "make_box_kernel",
+    "make_star_kernel",
+    "named_stencil",
+    "SolveResult",
+    "jacobi_poisson",
+    "power_iteration",
+    "richardson",
+    "naive_stencil",
+    "vectorized_stencil",
+    "run_iterations",
+    "l2_error",
+    "max_abs_error",
+    "make_workload",
+    "paper_benchmark_suite",
+    "paper_size_sweep",
+    "PAPER_SHAPE_IDS",
+    "PAPER_1D_SIZE",
+    "PAPER_2D_SIZE",
+    "FIG11_1D_SIZES",
+    "FIG11_2D_SIZES",
+    "FIG12_SIZES",
+]

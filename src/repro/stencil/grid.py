@@ -1,0 +1,141 @@
+"""Computational grids with HALO handling.
+
+Stencil updates read a ``r``-deep HALO region around every interior point
+(paper §1).  :class:`Grid` owns the interior array and materializes padded
+views under a chosen :class:`BoundaryCondition`, so every executor
+(reference, SPIDER, baselines) consumes identical halo semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["BoundaryCondition", "Grid"]
+
+
+class BoundaryCondition(enum.Enum):
+    """How values outside the domain are supplied.
+
+    * ``ZERO`` — Dirichlet-0: halo reads return 0 (the paper's evaluation
+      setting; zero-padding keeps the GEMM transformations exact).
+    * ``PERIODIC`` — wrap-around.
+    * ``REFLECT`` — mirror across the boundary (edge value not repeated).
+    * ``NEAREST`` — clamp to the edge value.
+    """
+
+    ZERO = "zero"
+    PERIODIC = "periodic"
+    REFLECT = "reflect"
+    NEAREST = "nearest"
+
+
+_NUMPY_PAD_MODE = {
+    BoundaryCondition.ZERO: "constant",
+    BoundaryCondition.PERIODIC: "wrap",
+    BoundaryCondition.REFLECT: "reflect",
+    BoundaryCondition.NEAREST: "edge",
+}
+
+
+@dataclass
+class Grid:
+    """A ``d``-dimensional stencil input grid.
+
+    Parameters
+    ----------
+    data:
+        Interior values, shape ``(A,)``, ``(A, B)`` or ``(A, B, C)``.
+    bc:
+        Boundary condition used when a halo view is requested.
+
+    The paper's problem-size notation ``(A, B)`` maps to ``data.shape``;
+    1D problems use shape ``(1, N)`` in the paper and plain ``(N,)`` here.
+    """
+
+    data: np.ndarray
+    bc: BoundaryCondition = BoundaryCondition.ZERO
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.data, dtype=np.float64)
+        if arr.ndim not in (1, 2, 3):
+            raise ValueError(f"grid must be 1D/2D/3D, got ndim={arr.ndim}")
+        if arr.size == 0:
+            raise ValueError("grid must be non-empty")
+        self.data = arr
+
+    # ------------------------------------------------------------------
+    @property
+    def dims(self) -> int:
+        return self.data.ndim
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def num_points(self) -> int:
+        """Points updated per sweep (the Stencils/s denominator)."""
+        return int(self.data.size)
+
+    # ------------------------------------------------------------------
+    def padded(self, radius: int) -> np.ndarray:
+        """Interior plus an ``r``-deep halo on every side.
+
+        Returns a fresh array of shape ``tuple(s + 2r for s in shape)``.
+        """
+        if radius < 0:
+            raise ValueError("radius must be >= 0")
+        if radius == 0:
+            return self.data.copy()
+        mode = _NUMPY_PAD_MODE[self.bc]
+        if self.bc is BoundaryCondition.REFLECT and any(
+            s < radius + 1 for s in self.data.shape
+        ):
+            raise ValueError(
+                "REFLECT boundary needs every grid side > radius"
+            )
+        return np.pad(self.data, radius, mode=mode)
+
+    def like(self, data: np.ndarray) -> "Grid":
+        """New grid with the same boundary condition."""
+        return Grid(np.asarray(data, dtype=np.float64), self.bc)
+
+    def copy(self) -> "Grid":
+        return Grid(self.data.copy(), self.bc)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        shape: Tuple[int, ...],
+        rng: Optional[np.random.Generator] = None,
+        bc: BoundaryCondition = BoundaryCondition.ZERO,
+    ) -> "Grid":
+        rng = rng or np.random.default_rng(0)
+        return cls(rng.standard_normal(shape), bc)
+
+    @classmethod
+    def zeros(
+        cls, shape: Tuple[int, ...], bc: BoundaryCondition = BoundaryCondition.ZERO
+    ) -> "Grid":
+        return cls(np.zeros(shape), bc)
+
+    @classmethod
+    def from_function(
+        cls,
+        shape: Tuple[int, ...],
+        fn,
+        bc: BoundaryCondition = BoundaryCondition.ZERO,
+    ) -> "Grid":
+        """Build a grid by evaluating ``fn`` on normalized coordinates.
+
+        ``fn`` receives one meshgrid array per dimension with values in
+        ``[0, 1)`` and must return the grid values.
+        """
+        axes = [np.arange(s, dtype=np.float64) / s for s in shape]
+        mesh = np.meshgrid(*axes, indexing="ij")
+        return cls(np.asarray(fn(*mesh), dtype=np.float64), bc)

@@ -1,0 +1,336 @@
+"""Stencil problem specification.
+
+A stencil is characterized (paper §2.2) by three aspects:
+
+* **shape type** — *star* stencils depend on points along each axis only;
+  *box* stencils depend on every point in the ``(2r+1)^d`` hypercube around
+  the centre;
+* **dimensionality** ``d`` — 1, 2 or 3 spatial dimensions;
+* **radius** ``r`` (a.k.a. *order*) — spatial dependency range.
+
+:class:`StencilSpec` bundles these together with the coefficient tensor
+(the *stencil kernel*).  All downstream components — the golden reference,
+the SPIDER transformation pipeline and every baseline — consume this one
+object, so its validation rules are the single source of truth for what a
+well-formed stencil problem looks like.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ShapeType",
+    "StencilSpec",
+    "star_mask",
+    "box_mask",
+    "make_star_kernel",
+    "make_box_kernel",
+    "named_stencil",
+]
+
+
+class ShapeType(enum.Enum):
+    """Stencil footprint family."""
+
+    STAR = "star"
+    BOX = "box"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def box_mask(dims: int, radius: int) -> np.ndarray:
+    """Boolean mask of the box footprint: all points in the hypercube."""
+    if dims < 1 or radius < 0:
+        raise ValueError("dims must be >=1 and radius >=0")
+    return np.ones((2 * radius + 1,) * dims, dtype=bool)
+
+
+def star_mask(dims: int, radius: int) -> np.ndarray:
+    """Boolean mask of the star footprint: points along each axis + centre.
+
+    A point is in the star iff at most one of its offsets from the centre is
+    non-zero.
+    """
+    if dims < 1 or radius < 0:
+        raise ValueError("dims must be >=1 and radius >=0")
+    side = 2 * radius + 1
+    mask = np.zeros((side,) * dims, dtype=bool)
+    centre = (radius,) * dims
+    mask[centre] = True
+    for axis in range(dims):
+        idx = list(centre)
+        for off in range(-radius, radius + 1):
+            idx[axis] = radius + off
+            mask[tuple(idx)] = True
+    return mask
+
+
+@dataclass(frozen=True)
+class StencilSpec:
+    """A fully specified stencil problem kernel.
+
+    Parameters
+    ----------
+    shape:
+        :class:`ShapeType` — star or box.  For 1D stencils the two coincide.
+    dims:
+        Spatial dimensionality (1, 2 or 3).
+    radius:
+        Dependency radius ``r`` >= 1.
+    weights:
+        Coefficient tensor of shape ``(2r+1,) * dims``.  Entries outside the
+        declared footprint must be zero (validated).
+    name:
+        Optional human-readable tag (used in reports).
+
+    Notes
+    -----
+    The paper's benchmark nomenclature maps as:
+
+    * ``1D1R``  -> ``StencilSpec(BOX, 1, 1, ...)``
+    * ``Box-2D3R`` -> ``StencilSpec(BOX, 2, 3, ...)``
+    * ``Star-2D2R`` -> ``StencilSpec(STAR, 2, 2, ...)``
+    """
+
+    shape: ShapeType
+    dims: int
+    radius: int
+    weights: np.ndarray = field(repr=False)
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.dims not in (1, 2, 3):
+            raise ValueError(f"dims must be 1, 2 or 3, got {self.dims}")
+        if self.radius < 1:
+            raise ValueError(f"radius must be >= 1, got {self.radius}")
+        if not isinstance(self.shape, ShapeType):
+            raise TypeError("shape must be a ShapeType")
+        w = np.asarray(self.weights, dtype=np.float64)
+        expected = (2 * self.radius + 1,) * self.dims
+        if w.shape != expected:
+            raise ValueError(
+                f"weights shape {w.shape} does not match footprint {expected}"
+            )
+        if self.shape is ShapeType.STAR:
+            mask = star_mask(self.dims, self.radius)
+            if np.any(w[~mask] != 0.0):
+                raise ValueError(
+                    "star stencil has non-zero weights outside the star footprint"
+                )
+        if not np.all(np.isfinite(w)):
+            raise ValueError("weights must be finite")
+        # freeze the array so a frozen dataclass is actually immutable
+        w.setflags(write=False)
+        object.__setattr__(self, "weights", w)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def side(self) -> int:
+        """Footprint side length ``2r+1``."""
+        return 2 * self.radius + 1
+
+    @property
+    def footprint_mask(self) -> np.ndarray:
+        """Boolean mask of the declared footprint."""
+        if self.shape is ShapeType.STAR:
+            return star_mask(self.dims, self.radius)
+        return box_mask(self.dims, self.radius)
+
+    @property
+    def num_points(self) -> int:
+        """Number of points in the declared footprint.
+
+        Box-2D2R involves ``25`` points; Star-2D2R involves ``9``.
+        """
+        return int(self.footprint_mask.sum())
+
+    @property
+    def num_nonzero(self) -> int:
+        """Number of actually non-zero coefficients."""
+        return int(np.count_nonzero(self.weights))
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True iff the kernel is symmetric under reversal of every axis.
+
+        LoRAStencil (paper §2.2) *requires* this property; SPIDER does not.
+        """
+        w = self.weights
+        return bool(np.allclose(w, w[(slice(None, None, -1),) * self.dims]))
+
+    @property
+    def benchmark_id(self) -> str:
+        """Paper-style shape identifier, e.g. ``Box-2D3R`` or ``1D2R``."""
+        if self.dims == 1:
+            return f"1D{self.radius}R"
+        prefix = "Box" if self.shape is ShapeType.BOX else "Star"
+        return f"{prefix}-{self.dims}D{self.radius}R"
+
+    # ------------------------------------------------------------------
+    # Row decomposition (the paper's §3.1 building block)
+    # ------------------------------------------------------------------
+    def kernel_rows(self) -> np.ndarray:
+        """Return the kernel as ``(2r+1, ..., 2r+1)`` rows along the last axis.
+
+        For 1D stencils this is a single row of length ``2r+1``; for 2D it is
+        the ``2r+1`` rows the row-decomposition strategy (§3.1.1) iterates
+        over; for 3D it is a ``(2r+1, 2r+1, 2r+1)`` tensor whose trailing
+        axis is the "row" direction.
+        """
+        if self.dims == 1:
+            return self.weights.reshape(1, self.side)
+        if self.dims == 2:
+            return np.asarray(self.weights)
+        # 3D: flatten the two leading axes into "row index"
+        return self.weights.reshape(self.side * self.side, self.side)
+
+    def flattened(self) -> np.ndarray:
+        """Kernel flattened to a 1D vector of length ``(2r+1)^d``.
+
+        This is the *stencil kernel flattening* strategy (§2.2, Figure 2a)
+        used by the im2col/cuDNN-style baselines.
+        """
+        return self.weights.reshape(-1)
+
+    def with_weights(self, weights: np.ndarray) -> "StencilSpec":
+        """Copy of this spec with different coefficients."""
+        return StencilSpec(self.shape, self.dims, self.radius, weights, self.name)
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+
+def make_box_kernel(
+    dims: int,
+    radius: int,
+    rng: Optional[np.random.Generator] = None,
+    *,
+    symmetric: bool = False,
+    name: Optional[str] = None,
+) -> StencilSpec:
+    """Random box-shaped stencil.
+
+    With ``symmetric=True`` the kernel is symmetrized (averaged with its
+    reversal along every axis) so it is usable by LoRAStencil.
+    """
+    rng = rng or np.random.default_rng(0)
+    w = rng.uniform(-1.0, 1.0, size=(2 * radius + 1,) * dims)
+    if symmetric:
+        w = 0.5 * (w + w[(slice(None, None, -1),) * dims])
+    return StencilSpec(ShapeType.BOX, dims, radius, w, name)
+
+
+def make_star_kernel(
+    dims: int,
+    radius: int,
+    rng: Optional[np.random.Generator] = None,
+    *,
+    symmetric: bool = False,
+    name: Optional[str] = None,
+) -> StencilSpec:
+    """Random star-shaped stencil (zero outside the star footprint)."""
+    rng = rng or np.random.default_rng(0)
+    w = rng.uniform(-1.0, 1.0, size=(2 * radius + 1,) * dims)
+    w = np.where(star_mask(dims, radius), w, 0.0)
+    if symmetric:
+        w = 0.5 * (w + w[(slice(None, None, -1),) * dims])
+    return StencilSpec(ShapeType.STAR, dims, radius, w, name)
+
+
+_NAMED: dict = {}
+
+
+def _register(name: str, builder) -> None:
+    _NAMED[name.lower()] = builder
+
+
+def _heat_2d() -> StencilSpec:
+    # classic 5-point heat diffusion (alpha = 0.1)
+    a = 0.1
+    w = np.zeros((3, 3))
+    w[1, 1] = 1.0 - 4.0 * a
+    w[0, 1] = w[2, 1] = w[1, 0] = w[1, 2] = a
+    return StencilSpec(ShapeType.STAR, 2, 1, w, "heat2d")
+
+
+def _jacobi_2d() -> StencilSpec:
+    w = np.zeros((3, 3))
+    w[0, 1] = w[2, 1] = w[1, 0] = w[1, 2] = 0.25
+    return StencilSpec(ShapeType.STAR, 2, 1, w, "jacobi2d")
+
+
+def _blur_2d() -> StencilSpec:
+    w = np.full((3, 3), 1.0 / 9.0)
+    return StencilSpec(ShapeType.BOX, 2, 1, w, "blur2d")
+
+
+def _wave_1d() -> StencilSpec:
+    # 1D second-order wave-equation spatial operator, r=2 (4th-order FD)
+    w = np.array([-1.0 / 12, 4.0 / 3, -5.0 / 2, 4.0 / 3, -1.0 / 12])
+    return StencilSpec(ShapeType.BOX, 1, 2, w, "wave1d")
+
+
+def _heat_1d() -> StencilSpec:
+    w = np.array([0.25, 0.5, 0.25])
+    return StencilSpec(ShapeType.BOX, 1, 1, w, "heat1d")
+
+
+def _wave_2d() -> StencilSpec:
+    # 2D 4th-order Laplacian star stencil, r=2 (seismic-style)
+    c = np.array([-1.0 / 12, 4.0 / 3, 0.0, 4.0 / 3, -1.0 / 12])
+    w = np.zeros((5, 5))
+    w[2, :] += c
+    w[:, 2] += c
+    w[2, 2] = -2.0 * 5.0 / 2.0
+    return StencilSpec(ShapeType.STAR, 2, 2, w, "wave2d")
+
+
+def _heat_3d() -> StencilSpec:
+    # 7-point 3D diffusion
+    a = 0.05
+    w = np.zeros((3, 3, 3))
+    w[1, 1, 1] = 1.0 - 6.0 * a
+    for axis in range(3):
+        for off in (0, 2):
+            idx = [1, 1, 1]
+            idx[axis] = off
+            w[tuple(idx)] = a
+    return StencilSpec(ShapeType.STAR, 3, 1, w, "heat3d")
+
+
+def _blur_3d() -> StencilSpec:
+    w = np.full((3, 3, 3), 1.0 / 27.0)
+    return StencilSpec(ShapeType.BOX, 3, 1, w, "blur3d")
+
+
+_register("heat3d", _heat_3d)
+_register("blur3d", _blur_3d)
+_register("heat2d", _heat_2d)
+_register("jacobi2d", _jacobi_2d)
+_register("blur2d", _blur_2d)
+_register("wave1d", _wave_1d)
+_register("heat1d", _heat_1d)
+_register("wave2d", _wave_2d)
+
+
+def named_stencil(name: str) -> StencilSpec:
+    """Look up one of the built-in application stencils.
+
+    Available: ``heat1d``, ``heat2d``, ``jacobi2d``, ``blur2d``, ``wave1d``,
+    ``wave2d``.
+    """
+    try:
+        return _NAMED[name.lower()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown stencil {name!r}; available: {sorted(_NAMED)}"
+        ) from None

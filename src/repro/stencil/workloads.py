@@ -1,0 +1,132 @@
+"""Workload generators mirroring the paper's evaluation setup (§4.1).
+
+The paper benchmarks 1D stencils at problem size ``(1, 10240000)`` and 2D
+stencils at ``(10240, 10240)``, with shapes 1D1R, 1D2R and Box/Star-2D{1,2,3}R.
+:func:`paper_benchmark_suite` enumerates exactly that matrix;
+:func:`paper_size_sweep` reproduces the Figure-11 problem-size sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .grid import BoundaryCondition, Grid
+from .spec import ShapeType, StencilSpec, make_box_kernel, make_star_kernel
+
+__all__ = [
+    "Workload",
+    "paper_benchmark_suite",
+    "paper_size_sweep",
+    "make_workload",
+    "PAPER_1D_SIZE",
+    "PAPER_2D_SIZE",
+    "FIG11_1D_SIZES",
+    "FIG11_2D_SIZES",
+    "FIG12_SIZES",
+]
+
+#: Problem sizes used in §4.2 (Figure 10).
+PAPER_1D_SIZE: Tuple[int, ...] = (10240000,)
+PAPER_2D_SIZE: Tuple[int, ...] = (10240, 10240)
+
+#: Figure 11 x-axes: 1D sizes are (1, 1024*X) for X in {256..40960};
+#: 2D sizes are (X, X).
+FIG11_1D_SIZES: List[int] = [1024 * x for x in (256, 8192, 16384, 24576, 32768, 40960)]
+FIG11_2D_SIZES: List[int] = [512, 2048, 4096, 6144, 8192, 10240]
+
+#: Figure 12 x-axis (Box-2D2R ablation): square problem sizes.
+FIG12_SIZES: List[int] = [1280, 2560, 5120, 10240]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A stencil spec paired with a problem size.
+
+    ``grid_shape`` follows the paper's ``(A, B)`` notation for 2D and a
+    1-tuple for 1D.
+    """
+
+    spec: StencilSpec
+    grid_shape: Tuple[int, ...]
+
+    @property
+    def num_points(self) -> int:
+        n = 1
+        for s in self.grid_shape:
+            n *= s
+        return n
+
+    @property
+    def label(self) -> str:
+        return f"{self.spec.benchmark_id}@{'x'.join(map(str, self.grid_shape))}"
+
+    def make_grid(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        bc: BoundaryCondition = BoundaryCondition.ZERO,
+    ) -> Grid:
+        rng = rng or np.random.default_rng(42)
+        return Grid.random(self.grid_shape, rng, bc)
+
+
+def _spec_for(shape_id: str, rng: np.random.Generator) -> StencilSpec:
+    """Build a random stencil spec from a paper-style id like 'Box-2D3R'."""
+    sid = shape_id.strip()
+    if sid.upper().startswith("1D"):
+        radius = int(sid[2:-1])
+        return make_box_kernel(1, radius, rng, symmetric=True, name=sid)
+    prefix, rest = sid.split("-")
+    dims = int(rest[0])
+    radius = int(rest[2:-1])
+    if prefix.lower() == "box":
+        return make_box_kernel(dims, radius, rng, symmetric=True, name=sid)
+    if prefix.lower() == "star":
+        return make_star_kernel(dims, radius, rng, symmetric=True, name=sid)
+    raise ValueError(f"unrecognized shape id {shape_id!r}")
+
+
+#: The 8 shapes of Figure 10, in plot order.
+PAPER_SHAPE_IDS: List[str] = [
+    "1D1R",
+    "1D2R",
+    "Box-2D1R",
+    "Star-2D1R",
+    "Box-2D2R",
+    "Star-2D2R",
+    "Box-2D3R",
+    "Star-2D3R",
+]
+
+
+def make_workload(
+    shape_id: str,
+    grid_shape: Optional[Tuple[int, ...]] = None,
+    seed: int = 7,
+) -> Workload:
+    """One workload by paper shape id, defaulting to the §4.2 problem size."""
+    rng = np.random.default_rng(seed)
+    spec = _spec_for(shape_id, rng)
+    if grid_shape is None:
+        grid_shape = PAPER_1D_SIZE if spec.dims == 1 else PAPER_2D_SIZE
+    if len(grid_shape) != spec.dims:
+        raise ValueError(
+            f"grid shape {grid_shape} does not match {spec.dims}D stencil"
+        )
+    return Workload(spec, tuple(grid_shape))
+
+
+def paper_benchmark_suite(seed: int = 7) -> List[Workload]:
+    """The full Figure-10 benchmark matrix (8 shapes, paper sizes)."""
+    return [make_workload(sid, seed=seed) for sid in PAPER_SHAPE_IDS]
+
+
+def paper_size_sweep(shape_id: str, seed: int = 7) -> List[Workload]:
+    """The Figure-11 problem-size sweep for one stencil shape."""
+    rng = np.random.default_rng(seed)
+    spec = _spec_for(shape_id, rng)
+    if spec.dims == 1:
+        return [Workload(spec, (n,)) for n in FIG11_1D_SIZES]
+    return [Workload(spec, (n, n)) for n in FIG11_2D_SIZES]

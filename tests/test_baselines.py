@@ -1,0 +1,223 @@
+"""Equivalence and interface tests for every evaluated baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    PAPER_METHODS,
+    ConvStencilMethod,
+    CuDNNMethod,
+    DRStencilMethod,
+    FlashFFTStencilMethod,
+    LoRAStencilMethod,
+    NaiveMethod,
+    SpiderMethod,
+    TCStencilMethod,
+    all_paper_methods,
+    im2col,
+    low_rank_pairs,
+    make_method,
+    method_registry,
+    toeplitz_kernel_matrix,
+)
+from repro.stencil import (
+    Grid,
+    make_box_kernel,
+    make_star_kernel,
+    naive_stencil,
+)
+
+METHOD_CLASSES = [
+    CuDNNMethod,
+    DRStencilMethod,
+    TCStencilMethod,
+    ConvStencilMethod,
+    LoRAStencilMethod,
+    FlashFFTStencilMethod,
+    SpiderMethod,
+]
+
+
+@pytest.fixture(params=METHOD_CLASSES, ids=lambda c: c.name)
+def method(request):
+    return request.param()
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("r", [1, 2, 3])
+    def test_2d_box_symmetric(self, method, rng, r):
+        spec = make_box_kernel(2, r, rng, symmetric=True)
+        g = Grid.random((25, 37), rng)
+        assert method.supports(spec)
+        assert np.allclose(
+            method.run(spec, g), naive_stencil(spec, g), atol=1e-9
+        )
+
+    @pytest.mark.parametrize("r", [1, 2])
+    def test_2d_star_symmetric(self, method, rng, r):
+        spec = make_star_kernel(2, r, rng, symmetric=True)
+        g = Grid.random((19, 30), rng)
+        assert np.allclose(
+            method.run(spec, g), naive_stencil(spec, g), atol=1e-9
+        )
+
+    @pytest.mark.parametrize("r", [1, 2])
+    def test_1d(self, method, rng, r):
+        spec = make_box_kernel(1, r, rng, symmetric=True)
+        g = Grid.random((217,), rng)
+        assert np.allclose(
+            method.run(spec, g), naive_stencil(spec, g), atol=1e-9
+        )
+
+    def test_asymmetric_kernels(self, method, rng):
+        spec = make_box_kernel(2, 2, rng, symmetric=False)
+        g = Grid.random((15, 22), rng)
+        if method.supports(spec):
+            assert np.allclose(
+                method.run(spec, g), naive_stencil(spec, g), atol=1e-9
+            )
+        else:
+            assert isinstance(method, LoRAStencilMethod)
+
+
+class TestCosts:
+    def test_cost_interface(self, method, rng):
+        spec = make_box_kernel(2, 2, rng, symmetric=True)
+        cost = method.cost(spec, (10240, 10240))
+        comp, inp, par = cost.per_point()
+        assert comp > 0 and inp > 0 and par > 0
+
+    def test_spider_cheapest_compute_vs_tensor_baselines(self, rng):
+        spec = make_box_kernel(2, 3, rng, symmetric=True)
+        shape = (10240, 10240)
+        spider_c = SpiderMethod().cost(spec, shape).per_point()[0]
+        for cls in (TCStencilMethod, ConvStencilMethod, LoRAStencilMethod):
+            assert spider_c < cls().cost(spec, shape).per_point()[0]
+
+
+class TestRegistry:
+    def test_all_paper_methods_present(self):
+        reg = method_registry()
+        for name in PAPER_METHODS:
+            assert name in reg
+
+    def test_make_method(self):
+        assert make_method("SPIDER").name == "SPIDER"
+        with pytest.raises(KeyError):
+            make_method("nonexistent")
+
+    def test_all_paper_methods_order(self):
+        assert [m.name for m in all_paper_methods()] == PAPER_METHODS
+
+    def test_naive_registered(self):
+        assert "Naive" in method_registry()
+
+
+class TestCuDNNInternals:
+    def test_im2col_shape(self, rng):
+        padded = rng.standard_normal((6, 7))
+        cols = im2col(padded, (3, 3))
+        assert cols.shape == (9, 4 * 5)
+
+    def test_im2col_first_column(self, rng):
+        padded = rng.standard_normal((5, 5))
+        cols = im2col(padded, (3, 3))
+        assert np.array_equal(cols[:, 0], padded[:3, :3].reshape(-1))
+
+    def test_batched_matches_unbatched(self, rng):
+        spec = make_box_kernel(2, 1, rng)
+        g = Grid.random((30, 30), rng)
+        small = CuDNNMethod(batch_points=64).run(spec, g)
+        big = CuDNNMethod().run(spec, g)
+        assert np.allclose(small, big)
+
+    def test_bad_batch_rejected(self):
+        with pytest.raises(ValueError):
+            CuDNNMethod(batch_points=0)
+
+
+class TestTCStencilInternals:
+    def test_radius_limit(self, rng):
+        m = TCStencilMethod()
+        spec8 = make_box_kernel(2, 8, rng)  # 2r = 16 = L: unsupported
+        assert not m.supports(spec8)
+        with pytest.raises(ValueError):
+            m.run(spec8, Grid.random((40, 40), rng))
+
+    def test_mma_issues_recorded(self, rng):
+        m = TCStencilMethod()
+        m.run(make_box_kernel(2, 1, rng), Grid.random((20, 20), rng))
+        assert m.stream.count("mma") > 0
+
+    def test_matrix_structure(self, rng):
+        m = TCStencilMethod()
+        row = rng.standard_normal(3)
+        mat = m._build_matrix(row, 16, 14)
+        assert mat.shape == (16, 16)
+        assert (mat[14:] == 0).all()
+        assert np.array_equal(mat[0, :3], row)
+
+
+class TestConvStencilInternals:
+    def test_toeplitz_structure(self, rng):
+        row = rng.standard_normal(5)  # r=2
+        k = toeplitz_kernel_matrix(row, 8)
+        assert k.shape == (12, 8)
+        for j in range(8):
+            assert np.array_equal(k[j : j + 5, j], row)
+        # over half zeros — the Figure-3 triangular-looking sparsity
+        assert np.count_nonzero(k) / k.size < 0.55
+
+    def test_c_validation(self):
+        with pytest.raises(ValueError):
+            ConvStencilMethod(c=0)
+
+
+class TestLoRAInternals:
+    def test_low_rank_pairs_reconstruct(self, rng):
+        spec = make_box_kernel(2, 2, rng, symmetric=True)
+        pairs = low_rank_pairs(spec.weights)
+        recon = sum(np.outer(u, v) for u, v in pairs)
+        assert np.allclose(recon, spec.weights)
+
+    def test_rank_bounded_for_separable(self):
+        u = np.array([1.0, 2.0, 1.0])
+        w = np.outer(u, u)
+        assert len(low_rank_pairs(w)) == 1
+
+    def test_rejects_asymmetric(self, rng):
+        m = LoRAStencilMethod()
+        spec = make_box_kernel(2, 1, rng, symmetric=False)
+        with pytest.raises(ValueError, match="symmetric"):
+            m.run(spec, Grid.random((8, 8), rng))
+
+    def test_rank_recorded(self, rng):
+        m = LoRAStencilMethod()
+        spec = make_box_kernel(2, 2, rng, symmetric=True)
+        m.run(spec, Grid.random((12, 12), rng))
+        assert 1 <= m.last_rank <= 5
+
+    def test_non_square_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            low_rank_pairs(np.ones((3, 5)))
+
+
+class TestFlashFFTInternals:
+    def test_kernel_spectrum_cached(self, rng):
+        m = FlashFFTStencilMethod()
+        spec = make_box_kernel(2, 1, rng, symmetric=True)
+        g = Grid.random((16, 16), rng)
+        m.run(spec, g)
+        n = len(m._kernel_cache)
+        m.run(spec, g)
+        assert len(m._kernel_cache) == n  # amortized across iterations
+
+
+class TestNaive:
+    def test_naive_is_oracle(self, rng):
+        spec = make_box_kernel(2, 1, rng)
+        g = Grid.random((10, 10), rng)
+        assert np.array_equal(NaiveMethod().run(spec, g), naive_stencil(spec, g))
+
+    def test_naive_supports_3d(self, rng):
+        assert NaiveMethod().supports(make_box_kernel(3, 1, rng))

@@ -1,0 +1,143 @@
+"""Tests for the Table-1 cost closed forms — Table 2 asserted to the digit."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.costs import (
+    convstencil_cost,
+    cost_for_spec,
+    cudnn_cost,
+    drstencil_cost,
+    flashfft_cost,
+    lorastencil_cost,
+    lower_bound_cost,
+    spider_cost,
+    tcstencil_cost,
+)
+from repro.analysis.tables import TABLE2_PAPER, table2_rows
+from repro.stencil import make_box_kernel, make_star_kernel
+
+
+class TestTable2Exact:
+    """Box-2D3R, c = 8: the paper's Table 2, digit for digit."""
+
+    @pytest.mark.parametrize(
+        "name,fn",
+        [
+            ("LowerBound", lower_bound_cost),
+            ("ConvStencil", convstencil_cost),
+            ("TCStencil", tcstencil_cost),
+            ("LoRAStencil", lorastencil_cost),
+            ("SPIDER", spider_cost),
+        ],
+    )
+    def test_row(self, name, fn):
+        comp, inp, par = fn(10240, 10240, 3, 8).per_point()
+        ref_comp, ref_inp, ref_par = TABLE2_PAPER[name]
+        assert comp == pytest.approx(ref_comp, abs=0.005)
+        assert inp == pytest.approx(ref_inp, abs=0.005)
+        assert par == pytest.approx(ref_par, abs=0.005)
+
+    def test_table2_rows_generator(self):
+        rows = table2_rows()
+        assert len(rows) == 5
+        by_name = {r[0]: r[1:] for r in rows}
+        assert by_name["SPIDER"] == pytest.approx((56.0, 14.0, 7.0))
+
+
+class TestSparsityBudget:
+    def test_spider_close_to_lower_bound_compute(self):
+        # §3.1: SPIDER ≈ LB + the padding tax (56 vs 49 at r=3)
+        for r in (1, 2, 3):
+            sp = spider_cost(1024, 1024, r).per_point()[0]
+            lb = lower_bound_cost(1024, 1024, r).per_point()[0]
+            assert lb <= sp < 2.3 * lb
+
+    def test_tcstencil_worst_compute(self):
+        for r in (1, 2, 3):
+            tc = tcstencil_cost(1024, 1024, r).per_point()[0]
+            for other in (convstencil_cost, lorastencil_cost, spider_cost):
+                assert tc > other(1024, 1024, r).per_point()[0]
+
+    def test_spider_param_access_best_among_gemm_methods(self):
+        for r in (1, 2, 3):
+            sp = spider_cost(1024, 1024, r).per_point()[2]
+            for other in (convstencil_cost, tcstencil_cost, lorastencil_cost):
+                assert sp < other(1024, 1024, r).per_point()[2]
+
+
+class TestScaling:
+    def test_costs_linear_in_grid(self):
+        small = spider_cost(512, 512, 2)
+        large = spider_cost(1024, 1024, 2)
+        assert large.compute_macs == pytest.approx(4 * small.compute_macs)
+        assert large.input_elems == pytest.approx(4 * small.input_elems)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spider_cost(0, 10, 1)
+        with pytest.raises(ValueError):
+            tcstencil_cost(10, 10, 8, L=16)
+        with pytest.raises(ValueError):
+            flashfft_cost(10, 10, 5, seg=9)
+
+
+class TestCostForSpec:
+    def test_star_nnz_for_cuda_methods(self, rng):
+        box = make_box_kernel(2, 2, rng, symmetric=True)
+        star = make_star_kernel(2, 2, rng, symmetric=True)
+        shape = (1024, 1024)
+        # DRStencil skips zero coefficients: star is cheaper
+        assert (
+            cost_for_spec("DRStencil", star, shape).compute_macs
+            < cost_for_spec("DRStencil", box, shape).compute_macs
+        )
+        # GEMM transformations are value-agnostic: identical cost
+        assert (
+            cost_for_spec("SPIDER", star, shape).compute_macs
+            == cost_for_spec("SPIDER", box, shape).compute_macs
+        )
+
+    def test_unknown_method(self, rng):
+        with pytest.raises(KeyError):
+            cost_for_spec("Unknown", make_box_kernel(2, 1, rng), (64, 64))
+
+    def test_1d_forms(self, rng):
+        spec = make_box_kernel(1, 2, rng, symmetric=True)
+        for m in (
+            "LowerBound",
+            "ConvStencil",
+            "TCStencil",
+            "LoRAStencil",
+            "SPIDER",
+            "cuDNN",
+            "DRStencil",
+            "FlashFFTStencil",
+        ):
+            cost = cost_for_spec(m, spec, (1 << 20,))
+            assert cost.compute_macs > 0
+
+    def test_3d_rejected(self, rng):
+        with pytest.raises(ValueError):
+            cost_for_spec("SPIDER", make_box_kernel(3, 1, rng), (8, 8, 8))
+
+
+class TestModelFormulas:
+    def test_cudnn_value_agnostic(self, rng):
+        box = make_box_kernel(2, 2, rng, symmetric=True)
+        star = make_star_kernel(2, 2, rng, symmetric=True)
+        assert (
+            cost_for_spec("cuDNN", box, (512, 512)).compute_macs
+            == cost_for_spec("cuDNN", star, (512, 512)).compute_macs
+        )
+
+    def test_flashfft_radius_sensitivity(self):
+        # overlap-save discard makes larger radii more expensive
+        c1 = flashfft_cost(1024, 1024, 1).per_point()[0]
+        c3 = flashfft_cost(1024, 1024, 3).per_point()[0]
+        assert c3 > c1
+
+    def test_drstencil_nnz_passthrough(self):
+        full = drstencil_cost(256, 256, 2, nnz=25)
+        star = drstencil_cost(256, 256, 2, nnz=9)
+        assert star.compute_macs < full.compute_macs

@@ -1,0 +1,97 @@
+"""Tests for the AOT kernel encoding pipeline (Figure 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encoding import (
+    EncodedKernelRow,
+    encode_kernel_row,
+    structural_compress,
+)
+from repro.core.kernel_matrix import build_kernel_matrix, choose_L
+from repro.core.swapping import apply_column_swap
+from repro.sptc.metadata import unpack_metadata_words
+
+
+class TestStructuralCompress:
+    def test_keeps_masked_zeros(self):
+        # star rows carry zero coefficients that are still data slots
+        m = np.array([[0.0, 5.0, 0.0, 0.0]])
+        mask = np.array([[True, True, False, False]])
+        vals, pos = structural_compress(m, mask)
+        assert vals.tolist() == [[0.0, 5.0]]
+        assert pos.tolist() == [[0, 1]]
+
+    def test_placeholder_for_single_cell(self):
+        m = np.array([[0.0, 0.0, 0.0, 3.0]])
+        mask = np.array([[False, False, False, True]])
+        vals, pos = structural_compress(m, mask)
+        assert vals.tolist() == [[0.0, 3.0]]
+        assert pos.tolist() == [[2, 3]]
+
+    def test_empty_group(self):
+        m = np.zeros((1, 4))
+        mask = np.zeros((1, 4), dtype=bool)
+        vals, pos = structural_compress(m, mask)
+        assert pos.tolist() == [[0, 1]]
+
+    def test_overfull_mask_rejected(self):
+        m = np.zeros((1, 4))
+        mask = np.array([[True, True, True, False]])
+        with pytest.raises(ValueError, match="not 2:4"):
+            structural_compress(m, mask)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            structural_compress(np.zeros((1, 4)), np.zeros((2, 4), dtype=bool))
+
+
+class TestEncodeKernelRow:
+    @given(r=st.integers(1, 8), seed=st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_dense_roundtrip(self, r, seed):
+        """Decompressing the encoded row reproduces the swapped matrix."""
+        rng = np.random.default_rng(seed)
+        row = rng.standard_normal(2 * r + 1)
+        enc = encode_kernel_row(row)
+        expected = apply_column_swap(build_kernel_matrix(row), choose_L(r))
+        assert np.allclose(enc.sparse.to_dense(), expected)
+        assert np.allclose(enc.dense_swapped, expected)
+        assert np.allclose(enc.dense_unswapped, build_kernel_matrix(row))
+
+    def test_star_row_with_zero_coeffs(self):
+        # a star-stencil off-centre row: single non-zero at the middle
+        row = np.zeros(7)
+        row[3] = 2.5
+        enc = encode_kernel_row(row)
+        assert np.count_nonzero(enc.sparse.values) == enc.L  # one per matrix row
+        # structure is still the full band: metadata identical to a dense row
+        enc_dense = encode_kernel_row(np.arange(1.0, 8.0))
+        assert np.array_equal(enc.sparse.positions, enc_dense.sparse.positions)
+
+    def test_metadata_uniform_per_radius(self, rng):
+        """§3.1.2: predefined extraction rule — metadata depends only on r."""
+        e1 = encode_kernel_row(rng.standard_normal(7))
+        e2 = encode_kernel_row(rng.standard_normal(7))
+        assert np.array_equal(e1.sparse.positions, e2.sparse.positions)
+        assert np.array_equal(e1.metadata_words, e2.metadata_words)
+
+    def test_metadata_words_decode(self, rng):
+        enc = encode_kernel_row(rng.standard_normal(7))
+        decoded = unpack_metadata_words(
+            enc.metadata_words, enc.L, enc.width // 2
+        )
+        assert np.array_equal(decoded, enc.sparse.positions)
+
+    def test_parameter_elements_half_width(self, rng):
+        enc = encode_kernel_row(rng.standard_normal(7))
+        assert enc.parameter_elements() == enc.L * enc.width // 2
+
+    def test_geometry_fields(self, rng):
+        enc = encode_kernel_row(rng.standard_normal(5))  # r=2
+        assert enc.radius == 2
+        assert enc.L == 6
+        assert enc.width == 16
+        assert len(enc.permutation) == 16

@@ -1,0 +1,133 @@
+"""Tests for the 2:4 structured sparse format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sptc.formats import (
+    GROUP,
+    Sparse24Matrix,
+    compress_24,
+    decompress_24,
+    is_24_sparse,
+    violating_groups,
+)
+
+
+def random_24_matrix(rng, m, k, density=2):
+    """A 2:4-compliant matrix with `density` non-zeros per group."""
+    a = np.zeros((m, k))
+    for i in range(m):
+        for g in range(k // GROUP):
+            pos = rng.choice(GROUP, size=density, replace=False)
+            a[i, g * GROUP + pos] = rng.standard_normal(density)
+    return a
+
+
+class TestValidation:
+    def test_zero_matrix_is_sparse(self):
+        assert is_24_sparse(np.zeros((4, 8)))
+
+    def test_dense_matrix_not_sparse(self):
+        assert not is_24_sparse(np.ones((2, 8)))
+
+    def test_exact_two_per_group(self, rng):
+        assert is_24_sparse(random_24_matrix(rng, 8, 16))
+
+    def test_three_in_group_detected(self):
+        a = np.zeros((1, 8))
+        a[0, :3] = 1.0
+        assert not is_24_sparse(a)
+        v = violating_groups(a)
+        assert v.tolist() == [[0, 0]]
+
+    def test_non_multiple_of_four_rejected(self):
+        with pytest.raises(ValueError):
+            is_24_sparse(np.zeros((2, 6)))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError):
+            is_24_sparse(np.zeros(8))
+
+
+class TestCompressionRoundTrip:
+    def test_simple(self, rng):
+        a = random_24_matrix(rng, 8, 16)
+        v, p = compress_24(a)
+        assert v.shape == (8, 8)
+        back = decompress_24(v, p, 16)
+        assert np.array_equal(back, a)
+
+    def test_single_nonzero_group(self):
+        # paper's 0G00 example: value at position 1
+        a = np.array([[0.0, 7.0, 0.0, 0.0]])
+        v, p = compress_24(a)
+        assert v[0, 0] == 7.0 and v[0, 1] == 0.0
+        assert p[0, 0] == 1 and p[0, 1] == 2
+        assert np.array_equal(decompress_24(v, p, 4), a)
+
+    def test_nonzero_at_last_position(self):
+        a = np.array([[0.0, 0.0, 0.0, 7.0]])
+        v, p = compress_24(a)
+        # placeholder precedes (positions strictly increasing)
+        assert v[0, 1] == 7.0 and p[0, 1] == 3
+        assert p[0, 0] < p[0, 1]
+        assert np.array_equal(decompress_24(v, p, 4), a)
+
+    def test_empty_group(self):
+        a = np.zeros((1, 4))
+        v, p = compress_24(a)
+        assert (v == 0).all()
+        assert p[0, 0] < p[0, 1]
+
+    def test_overfull_group_raises(self):
+        a = np.ones((1, 4))
+        with pytest.raises(ValueError):
+            compress_24(a)
+
+    @given(
+        m=st.integers(1, 6),
+        groups=st.integers(1, 5),
+        seed=st.integers(0, 2**32 - 1),
+        density=st.integers(0, 2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, m, groups, seed, density):
+        rng = np.random.default_rng(seed)
+        a = random_24_matrix(rng, m, groups * GROUP, density) if density else np.zeros(
+            (m, groups * GROUP)
+        )
+        v, p = compress_24(a)
+        assert np.array_equal(decompress_24(v, p, groups * GROUP), a)
+        # positions strictly increasing within every 2-slot pair
+        pr = p.reshape(m, -1, 2)
+        assert (pr[..., 0] < pr[..., 1]).all()
+
+
+class TestSparse24Matrix:
+    def test_from_dense_roundtrip(self, rng):
+        a = random_24_matrix(rng, 16, 16)
+        sp = Sparse24Matrix.from_dense(a)
+        assert sp.m == 16 and sp.k == 16 and sp.compressed_k == 8
+        assert np.array_equal(sp.to_dense(), a)
+
+    def test_from_dense_rejects_noncompliant(self):
+        with pytest.raises(ValueError, match="not 2:4"):
+            Sparse24Matrix.from_dense(np.ones((2, 8)))
+
+    def test_storage_halved(self, rng):
+        a = random_24_matrix(rng, 8, 32)
+        sp = Sparse24Matrix.from_dense(a)
+        assert sp.storage_elements() == a.size // 2
+        assert sp.metadata_bits() == a.size  # 2 bits per slot, k/2 slots
+
+    def test_invalid_positions_rejected(self):
+        with pytest.raises(ValueError):
+            Sparse24Matrix(
+                np.zeros((1, 2)), np.array([[1, 1]], dtype=np.uint8), 4
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Sparse24Matrix(np.zeros((1, 2)), np.zeros((1, 4), dtype=np.uint8), 4)

@@ -1,0 +1,83 @@
+"""Tests for warp fragment layouts."""
+
+import numpy as np
+import pytest
+
+from repro.sptc import fragments as fr
+
+
+class TestPaperBMapping:
+    def test_formula_matches_paper(self):
+        # offset_row = 2*(lane%4) + 8*floor(i/2) + (i%2)
+        for lane in range(32):
+            rows = fr.b_fragment_rows_paper(lane)
+            for i in range(4):
+                assert rows[i] == 2 * (lane % 4) + 8 * (i // 2) + (i % 2)
+
+    def test_lane_range_checked(self):
+        with pytest.raises(ValueError):
+            fr.b_fragment_rows_paper(32)
+
+    def test_b_layout_covers_tile_exactly_once(self):
+        seen = np.zeros((16, 8), dtype=int)
+        for lane in range(32):
+            for row, col in fr.b_fragment_coords(lane):
+                seen[row, col] += 1
+        assert (seen == 1).all()
+
+
+class TestALayout:
+    def test_covers_compressed_tile_once(self):
+        seen = np.zeros((16, 8), dtype=int)
+        for lane in range(32):
+            for row, col in fr.a_fragment_coords(lane):
+                seen[row, col] += 1
+        assert (seen == 1).all()
+
+
+class TestAccLayout:
+    def test_covers_tile_once(self):
+        seen = np.zeros((16, 8), dtype=int)
+        for lane in range(32):
+            for row, col in fr.acc_fragment_coords(lane):
+                seen[row, col] += 1
+        assert (seen == 1).all()
+
+
+class TestDistributeCollect:
+    def test_b_roundtrip(self, rng):
+        b = rng.standard_normal((16, 8))
+        assert np.array_equal(fr.collect_b(fr.distribute_b(b)), b)
+
+    def test_acc_roundtrip(self, rng):
+        c = rng.standard_normal((16, 8))
+        assert np.array_equal(fr.collect_acc(fr.distribute_acc(c)), c)
+
+    def test_a_distribution_consistent(self, rng):
+        a = rng.standard_normal((16, 8))
+        regs = fr.distribute_a(a)
+        for lane in (0, 7, 31):
+            coords = fr.a_fragment_coords(lane)
+            assert np.array_equal(regs[lane], a[coords[:, 0], coords[:, 1]])
+
+    def test_shape_checks(self):
+        with pytest.raises(ValueError):
+            fr.distribute_b(np.zeros((8, 8)))
+        with pytest.raises(ValueError):
+            fr.collect_acc(np.zeros((16, 8)))
+
+
+class TestMetadataLanes:
+    def test_selector_partitions_lanes(self):
+        all_lanes = np.concatenate(
+            [fr.metadata_fragment_lanes(s) for s in range(4)]
+        )
+        assert sorted(all_lanes.tolist()) == list(range(32))
+
+    def test_eight_lanes_per_selector(self):
+        for s in range(4):
+            assert len(fr.metadata_fragment_lanes(s)) == 8
+
+    def test_selector_range(self):
+        with pytest.raises(ValueError):
+            fr.metadata_fragment_lanes(4)

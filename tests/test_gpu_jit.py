@@ -1,0 +1,97 @@
+"""Tests for the symbolic mini-compiler."""
+
+import pytest
+
+from repro.gpu.jit import (
+    Add,
+    Const,
+    FloorDiv,
+    Mod,
+    Mul,
+    Piecewise,
+    Var,
+    count_ops,
+    evaluate,
+    unroll,
+)
+
+
+class TestConstruction:
+    def test_operator_sugar(self):
+        lane = Var("lane")
+        e = 2 * (lane % 4) + 1
+        assert isinstance(e, Add)
+        assert evaluate(e, {"lane": 7}) == 7
+
+    def test_floordiv(self):
+        i = Var("i")
+        assert evaluate(8 * (i // 2), {"i": 3}) == 8
+
+    def test_bad_operand_type(self):
+        with pytest.raises(TypeError):
+            Var("x") + 1.5
+
+
+class TestFolding:
+    def test_constants_merge_across_sum(self):
+        lane = Var("lane")
+        e = (2 * (lane % 4) + 8) + 16
+        folded = unroll(e, {})
+        # one Mod, one Mul, one Add — constants merged into a single literal
+        assert count_ops(folded) == 3
+
+    def test_full_fold_to_const(self):
+        i = Var("i")
+        folded = unroll(8 * (i // 2) + (i % 2), {"i": 3})
+        assert isinstance(folded, Const)
+        assert folded.value == 9
+        assert count_ops(folded) == 0
+
+    def test_mul_identities(self):
+        x = Var("x")
+        assert count_ops(unroll(1 * x, {})) == 0
+        assert unroll(0 * x, {}) == Const(0)
+
+    def test_add_zero_identity(self):
+        x = Var("x")
+        assert count_ops(unroll(x + 0, {})) == 0
+
+
+class TestPiecewise:
+    def test_resolves_on_unrolled_var(self):
+        pw = Piecewise("k", ((0, Const(16)), (1, Const(-16))))
+        assert evaluate(pw, {"k": 1}) == -16
+
+    def test_unresolved_raises(self):
+        pw = Piecewise("k", ((0, Const(16)),))
+        with pytest.raises(ValueError, match="zero-cost invariant"):
+            unroll(pw, {})
+
+    def test_missing_case_raises(self):
+        pw = Piecewise("k", ((0, Const(16)),))
+        with pytest.raises(KeyError):
+            unroll(pw, {"k": 5})
+
+    def test_nested_piecewise(self):
+        inner = Piecewise("i", ((0, Const(0)), (1, Const(8))))
+        outer = Piecewise("k", ((0, inner),))
+        assert evaluate(outer, {"k": 0, "i": 1}) == 8
+
+    def test_count_ops_on_unresolved_piecewise_raises(self):
+        with pytest.raises(ValueError):
+            count_ops(Piecewise("k", ((0, Const(1)),)))
+
+
+class TestEvaluate:
+    def test_unbound_raises(self):
+        with pytest.raises(ValueError, match="unbound"):
+            evaluate(Var("lane") + 1, {})
+
+    def test_matches_python_semantics(self):
+        lane, i = Var("lane"), Var("i")
+        e = 2 * (lane % 4) + 8 * (i // 2) + (i % 2)
+        for l in range(8):
+            for ii in range(4):
+                assert evaluate(e, {"lane": l, "i": ii}) == 2 * (l % 4) + 8 * (
+                    ii // 2
+                ) + (ii % 2)

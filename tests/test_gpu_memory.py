@@ -1,0 +1,76 @@
+"""Tests for coalescing and bank-conflict models."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.memory import (
+    AccessAudit,
+    audit_warp_access,
+    coalesced_transactions,
+    shared_bank_conflicts,
+)
+
+
+class TestCoalescing:
+    def test_fully_coalesced_warp(self):
+        # 32 lanes × 4-byte words, contiguous → 4 sectors of 32 B
+        addrs = np.arange(32) * 4
+        assert coalesced_transactions(addrs) == 4
+
+    def test_strided_access_explodes(self):
+        # 128-byte stride: every lane its own sector
+        addrs = np.arange(32) * 128
+        assert coalesced_transactions(addrs) == 32
+
+    def test_broadcast_single_sector(self):
+        assert coalesced_transactions([0] * 32) == 1
+
+    def test_inactive_lanes_ignored(self):
+        assert coalesced_transactions([-1] * 32) == 0
+
+    def test_bad_transaction_size(self):
+        with pytest.raises(ValueError):
+            coalesced_transactions([0], transaction_bytes=0)
+
+
+class TestBankConflicts:
+    def test_conflict_free_contiguous(self):
+        addrs = np.arange(32) * 4  # one word per bank
+        assert shared_bank_conflicts(addrs) == 0
+
+    def test_same_word_broadcast_free(self):
+        assert shared_bank_conflicts([64] * 32) == 0
+
+    def test_two_way_conflict(self):
+        # lanes hit banks 0..15 twice at different words -> 16 extra cycles
+        addrs = np.concatenate([np.arange(16) * 4, np.arange(16) * 4 + 128])
+        assert shared_bank_conflicts(addrs) == 16
+
+    def test_worst_case_32_way(self):
+        # all lanes same bank, all different words
+        addrs = np.arange(32) * 128  # stride 32 words = bank 0 every time
+        assert shared_bank_conflicts(addrs) == 31
+
+
+class TestAudit:
+    def test_audit_shape_check(self):
+        with pytest.raises(ValueError):
+            audit_warp_access(np.zeros(32))
+
+    def test_audit_counts(self):
+        addrs = np.arange(32).reshape(32, 1)  # contiguous fp16 elements
+        a = audit_warp_access(addrs, elem_bytes=2)
+        assert a.num_accesses == 1
+        assert a.bytes_moved == 64
+        assert a.transactions == 2  # 64 bytes / 32-byte sectors
+        assert a.conflict_free
+
+    def test_merge(self):
+        a = AccessAudit(1, 2, 0, 64)
+        b = AccessAudit(2, 3, 1, 128)
+        m = a.merge(b)
+        assert m.num_accesses == 3
+        assert m.transactions == 5
+        assert m.bank_conflicts == 1
+        assert m.bytes_moved == 192
+        assert not m.conflict_free

@@ -1,0 +1,106 @@
+"""Tests for device specs, occupancy and the roofline timing model."""
+
+import pytest
+
+from repro.gpu.device import A100_80GB_PCIE, GENERIC_GPU, Pipe
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.occupancy import (
+    BlockResources,
+    occupancy,
+    saturation_factor,
+    wave_efficiency,
+)
+from repro.gpu.timing import KernelCost, estimate_time
+
+
+class TestDevice:
+    def test_a100_pipes(self):
+        assert A100_80GB_PCIE.peak(Pipe.SPTC_FP16) == 2 * A100_80GB_PCIE.peak(
+            Pipe.TC_FP16
+        )
+        assert A100_80GB_PCIE.peak(Pipe.CUDA_FP64) == pytest.approx(9.7e12)
+
+    def test_unknown_pipe_raises(self):
+        with pytest.raises(KeyError):
+            A100_80GB_PCIE.peak("tc_int4")
+
+    def test_resident_threads(self):
+        assert A100_80GB_PCIE.max_resident_threads == 108 * 2048
+
+
+class TestOccupancy:
+    def test_thread_limited(self):
+        blk = BlockResources(threads=1024, registers_per_thread=16)
+        assert occupancy(A100_80GB_PCIE, blk) == 1.0
+
+    def test_register_limited(self):
+        blk = BlockResources(threads=256, registers_per_thread=128)
+        # 65536/(128*256) = 2 blocks -> 512/2048 threads
+        assert occupancy(A100_80GB_PCIE, blk) == pytest.approx(0.25)
+
+    def test_shared_memory_limited(self):
+        blk = BlockResources(threads=128, shared_mem_bytes=100_000)
+        assert occupancy(A100_80GB_PCIE, blk) == pytest.approx(128 / 2048)
+
+    def test_does_not_fit_raises(self):
+        blk = BlockResources(threads=256, shared_mem_bytes=200_000)
+        with pytest.raises(ValueError, match="does not fit"):
+            occupancy(A100_80GB_PCIE, blk)
+
+    def test_non_multiple_of_warp_rejected(self):
+        with pytest.raises(ValueError):
+            BlockResources(threads=100)
+
+    def test_wave_efficiency(self):
+        assert wave_efficiency(864, 864) == 1.0
+        assert wave_efficiency(865, 864) == pytest.approx(865 / 1728)
+
+    def test_saturation_ramp_monotone(self):
+        blk = BlockResources(threads=256, registers_per_thread=32)
+        sats = [
+            saturation_factor(A100_80GB_PCIE, blk, n)
+            for n in (8, 64, 512, 4096, 32768)
+        ]
+        assert sats[0] < sats[1] < sats[2]
+        assert sats[-1] > 0.9
+
+
+class TestTiming:
+    def test_compute_bound(self):
+        cost = KernelCost(flops=1e12, pipe=Pipe.TC_FP16, dram_bytes=1e3)
+        t = estimate_time(A100_80GB_PCIE, cost)
+        assert t.bound == "compute"
+        assert t.total_s > 0
+
+    def test_memory_bound(self):
+        cost = KernelCost(flops=1e3, pipe=Pipe.TC_FP16, dram_bytes=1e12)
+        t = estimate_time(A100_80GB_PCIE, cost)
+        assert t.bound == "memory"
+
+    def test_launch_overhead_included(self):
+        cost = KernelCost(flops=0.0, pipe=Pipe.TC_FP16, dram_bytes=0.0)
+        t = estimate_time(A100_80GB_PCIE, cost, launches=2)
+        assert t.total_s == pytest.approx(2 * A100_80GB_PCIE.launch_overhead_s)
+
+    def test_efficiency_validation(self):
+        with pytest.raises(ValueError):
+            KernelCost(flops=1, pipe=Pipe.TC_FP16, dram_bytes=1, compute_efficiency=0)
+        with pytest.raises(ValueError):
+            KernelCost(flops=-1, pipe=Pipe.TC_FP16, dram_bytes=1)
+
+    def test_generic_device_slower(self):
+        cost = KernelCost(flops=1e12, pipe=Pipe.TC_FP16, dram_bytes=1e9)
+        t_a100 = estimate_time(A100_80GB_PCIE, cost).total_s
+        t_gen = estimate_time(GENERIC_GPU, cost).total_s
+        assert t_gen > t_a100
+
+
+class TestKernelLaunch:
+    def test_totals(self):
+        kl = KernelLaunch(grid=10, block=BlockResources(threads=256))
+        assert kl.total_threads == 2560
+        assert kl.total_warps == 80
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            KernelLaunch(grid=0, block=BlockResources(threads=32))

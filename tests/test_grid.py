@@ -1,0 +1,84 @@
+"""Tests for repro.stencil.grid."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.grid import BoundaryCondition, Grid
+
+
+class TestConstruction:
+    def test_basic(self, rng):
+        g = Grid(rng.standard_normal((4, 5)))
+        assert g.dims == 2
+        assert g.shape == (4, 5)
+        assert g.num_points == 20
+
+    def test_dtype_coerced(self):
+        g = Grid(np.ones((3, 3), dtype=np.float32))
+        assert g.data.dtype == np.float64
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Grid(np.zeros((0, 4)))
+
+    def test_4d_rejected(self):
+        with pytest.raises(ValueError):
+            Grid(np.zeros((2, 2, 2, 2)))
+
+    def test_factories(self, rng):
+        assert Grid.zeros((3, 3)).data.sum() == 0
+        assert Grid.random((8,), rng).shape == (8,)
+        g = Grid.from_function((4, 4), lambda x, y: x + y)
+        assert g.data[0, 0] == 0.0
+
+
+class TestPadding:
+    def test_zero_padding(self):
+        g = Grid(np.ones((3, 3)), BoundaryCondition.ZERO)
+        p = g.padded(2)
+        assert p.shape == (7, 7)
+        assert p[0, 0] == 0.0
+        assert p[3, 3] == 1.0
+
+    def test_periodic_padding(self):
+        g = Grid(np.arange(4, dtype=float), BoundaryCondition.PERIODIC)
+        p = g.padded(1)
+        assert p[0] == 3.0 and p[-1] == 0.0
+
+    def test_reflect_padding(self):
+        g = Grid(np.arange(4, dtype=float), BoundaryCondition.REFLECT)
+        p = g.padded(1)
+        assert p[0] == 1.0 and p[-1] == 2.0
+
+    def test_nearest_padding(self):
+        g = Grid(np.arange(4, dtype=float), BoundaryCondition.NEAREST)
+        p = g.padded(2)
+        assert p[0] == 0.0 and p[-1] == 3.0
+
+    def test_zero_radius_copies(self):
+        g = Grid(np.ones((3,)))
+        p = g.padded(0)
+        p[0] = 5.0
+        assert g.data[0] == 1.0
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Grid(np.ones((3,))).padded(-1)
+
+    def test_reflect_too_small_rejected(self):
+        g = Grid(np.ones((2,)), BoundaryCondition.REFLECT)
+        with pytest.raises(ValueError):
+            g.padded(2)
+
+
+class TestHelpers:
+    def test_like_preserves_bc(self):
+        g = Grid(np.ones((3,)), BoundaryCondition.PERIODIC)
+        h = g.like(np.zeros((3,)))
+        assert h.bc is BoundaryCondition.PERIODIC
+
+    def test_copy_independent(self):
+        g = Grid(np.ones((3,)))
+        h = g.copy()
+        h.data[0] = 9.0
+        assert g.data[0] == 1.0

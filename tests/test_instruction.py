@@ -1,0 +1,61 @@
+"""Tests for instruction stream accounting."""
+
+import pytest
+
+from repro.sptc.instruction import InstructionStream, Op
+
+
+class TestStream:
+    def test_emit_and_count(self):
+        s = InstructionStream()
+        s.emit("mma.sp", "m16n8k16", count=3)
+        s.emit("lds", count=2, nbytes=64)
+        assert s.count("mma.sp") == 3
+        assert s.count("lds") == 2
+        assert s.count() == 5
+        assert s.bytes_moved("lds") == 64
+        assert s.bytes_moved() == 64
+
+    def test_detail_counts(self):
+        s = InstructionStream()
+        s.emit("mma", "m16n8k16", count=2)
+        s.emit("mma", "m16n8k8", count=1)
+        assert s.count_detail("mma", "m16n8k16") == 2
+        assert s.count_detail("mma", "m16n8k8") == 1
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionStream().emit("mma", count=-1)
+
+    def test_merge(self):
+        a = InstructionStream()
+        b = InstructionStream()
+        a.emit("mma", count=1)
+        b.emit("mma", count=2)
+        b.emit("lds", count=4)
+        a.merge(b)
+        assert a.count("mma") == 3
+        assert a.count("lds") == 4
+
+    def test_reset(self):
+        s = InstructionStream()
+        s.emit("mma")
+        s.reset()
+        assert s.count() == 0
+
+    def test_equality_by_counts(self):
+        a = InstructionStream()
+        b = InstructionStream()
+        a.emit("mma", "x", count=2)
+        b.emit("mma", "y", count=2)  # details differ, class counts equal
+        assert a == b
+
+    def test_emit_op(self):
+        s = InstructionStream()
+        s.emit_op(Op("bar", count=2))
+        assert s.count("bar") == 2
+
+    def test_snapshot(self):
+        s = InstructionStream()
+        s.emit("ialu", count=5)
+        assert s.snapshot() == {"ialu": 5}

@@ -1,0 +1,109 @@
+"""Tests for kernel-matrix construction (§3.1.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernel_matrix import (
+    build_kernel_matrix,
+    choose_L,
+    kernel_matrix_sparsity,
+    logical_width,
+    padded_width,
+    structural_mask,
+)
+
+
+class TestGeometry:
+    def test_choose_L(self):
+        assert choose_L(1) == 4
+        assert choose_L(3) == 8
+        assert choose_L(7) == 16
+
+    def test_choose_L_validates(self):
+        with pytest.raises(ValueError):
+            choose_L(0)
+
+    def test_logical_width(self):
+        # 2r + L = 4r + 2 with the default L
+        assert logical_width(3) == 14
+        assert logical_width(7) == 30
+
+    def test_padded_width_paper_case(self):
+        # the paper pads 8×14 to 8×16 for r=3
+        assert padded_width(3) == 16
+
+    def test_padded_width_at_least_2L(self):
+        for r in range(1, 20):
+            assert padded_width(r) >= 2 * choose_L(r)
+
+    def test_padded_width_multiple_of_align(self):
+        for r in range(1, 20):
+            assert padded_width(r) % 16 == 0
+
+
+class TestSparsity:
+    def test_exactly_half_with_default_L(self):
+        # §3.1.1: L = 2r+2 pins sparsity at exactly 50%
+        for r in range(1, 12):
+            assert kernel_matrix_sparsity(r) == pytest.approx(0.5)
+
+    def test_formula(self):
+        # sparsity = 1 - (2r+1)/(2r+L)
+        assert kernel_matrix_sparsity(2, L=10) == pytest.approx(1 - 5 / 14)
+
+
+class TestBuild:
+    def test_diagonal_band(self, rng):
+        row = rng.standard_normal(7)  # r = 3
+        k = build_kernel_matrix(row)
+        assert k.shape == (8, 16)
+        for i in range(8):
+            assert np.array_equal(k[i, i : i + 7], row)
+            assert np.count_nonzero(k[i]) <= 7
+
+    def test_gemm_equals_stencil(self, rng):
+        # Y = K·X reproduces the 1D stencil update (Figure 4)
+        r = 2
+        row = rng.standard_normal(2 * r + 1)
+        k = build_kernel_matrix(row)
+        L, W = k.shape
+        x_line = rng.standard_normal(W)
+        y = k @ x_line
+        for i in range(L):
+            expected = sum(row[t] * x_line[i + t] for t in range(2 * r + 1))
+            assert y[i] == pytest.approx(expected)
+
+    def test_even_length_rejected(self):
+        with pytest.raises(ValueError):
+            build_kernel_matrix(np.ones(4))
+
+    def test_too_small_L_rejected(self, rng):
+        with pytest.raises(ValueError, match="sparsity requirement"):
+            build_kernel_matrix(rng.standard_normal(5), L=4)
+
+    @given(r=st.integers(1, 10), seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_band_structure_property(self, r, seed):
+        rng = np.random.default_rng(seed)
+        row = rng.standard_normal(2 * r + 1)
+        k = build_kernel_matrix(row)
+        mask = structural_mask(r)
+        assert k.shape == mask.shape
+        # non-zeros only inside the structural band
+        assert (k[~mask] == 0).all()
+
+
+class TestStructuralMask:
+    def test_band_widths(self):
+        m = structural_mask(3)
+        assert m.sum(axis=1).tolist() == [7] * 8
+
+    def test_mask_value_independent(self, rng):
+        # same mask regardless of coefficients, incl. zeros (star rows)
+        m1 = structural_mask(2)
+        row = np.zeros(5)
+        row[2] = 1.0
+        k = build_kernel_matrix(row)
+        assert (k[~m1] == 0).all()

@@ -1,0 +1,107 @@
+"""Tests for metadata encoding and Figure-9 packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sptc.metadata import (
+    MetadataRegisterFile,
+    decode_positions,
+    decode_row_word,
+    encode_positions,
+    encode_row_word,
+    pack_metadata_words,
+    unpack_metadata_words,
+)
+
+
+class TestRowWords:
+    def test_paper_example(self):
+        # §3.1.2: values E,G at positions 0 and 2 encode as 00 then 10,
+        # i.e. LSB-first slot packing: word = 0b10_00 = 8
+        word = encode_row_word(np.array([0, 2]))
+        assert word == 0b1000
+        assert decode_row_word(word, 2).tolist() == [0, 2]
+
+    def test_paper_placeholder_example(self):
+        # 0G00 -> G at position 1, placeholder at 2: metadata 01 10
+        word = encode_row_word(np.array([1, 2]))
+        assert word == 0b1001
+        assert decode_row_word(word, 2).tolist() == [1, 2]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            encode_row_word(np.array([4]))
+
+    def test_16_bit_row(self):
+        # a full kernel-matrix row (8 slots) fits one 16-bit word
+        pos = np.array([0, 1, 2, 3, 0, 2, 1, 3])
+        word = encode_row_word(pos)
+        assert word < (1 << 16)
+        assert decode_row_word(word, 8).tolist() == pos.tolist()
+
+
+class TestMatrixEncoding:
+    @given(
+        m=st.integers(1, 8),
+        half=st.integers(1, 10),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_encode_decode_roundtrip(self, m, half, seed):
+        rng = np.random.default_rng(seed)
+        pos = rng.integers(0, 4, size=(m, half)).astype(np.uint8)
+        words = encode_positions(pos)
+        assert np.array_equal(decode_positions(words, half), pos)
+
+    def test_rejects_bad_positions(self):
+        with pytest.raises(ValueError):
+            encode_positions(np.array([[5]]))
+
+
+class TestWordPacking:
+    @given(
+        m=st.integers(1, 16),
+        half=st.sampled_from([2, 4, 8]),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pack_unpack_roundtrip(self, m, half, seed):
+        rng = np.random.default_rng(seed)
+        pos = rng.integers(0, 4, size=(m, half)).astype(np.uint8)
+        words, payload = pack_metadata_words(pos)
+        assert payload == half * 2
+        assert np.array_equal(unpack_metadata_words(words, m, half), pos)
+
+    def test_two_rows_per_register(self):
+        # 8-slot rows (16 bits) pack two per 32-bit word — Figure 9
+        pos = np.zeros((16, 8), dtype=np.uint8)
+        words, _ = pack_metadata_words(pos)
+        assert len(words) == 8
+
+
+class TestRegisterFile:
+    def test_naive_vs_packed(self):
+        rf = MetadataRegisterFile(num_mma=4, group_size=2)
+        assert rf.registers_per_thread_naive == 4
+        assert rf.registers_per_thread_packed == 2
+        assert rf.register_savings == 2
+
+    def test_selector_cycles(self):
+        rf = MetadataRegisterFile(num_mma=4, group_size=2)
+        assert [rf.selector_for(i) for i in range(4)] == [0, 1, 0, 1]
+
+    def test_group_size_limit(self):
+        with pytest.raises(ValueError):
+            MetadataRegisterFile(num_mma=8, group_size=5)
+
+    def test_selector_range_check(self):
+        rf = MetadataRegisterFile(num_mma=2)
+        with pytest.raises(ValueError):
+            rf.selector_for(2)
+
+    def test_no_packing_identity(self):
+        rf = MetadataRegisterFile(num_mma=3, group_size=1)
+        assert rf.registers_per_thread_packed == 3
+        assert rf.register_savings == 0

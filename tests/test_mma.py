@@ -1,0 +1,91 @@
+"""Tests for dense MMA semantics."""
+
+import numpy as np
+import pytest
+
+from repro.sptc.instruction import InstructionStream
+from repro.sptc.mma import (
+    MMA_M16N8K8,
+    MMA_M16N8K16,
+    MmaPrecision,
+    MmaShape,
+    mma_dense,
+)
+
+
+class TestShapes:
+    def test_names(self):
+        assert MMA_M16N8K16.name == "m16n8k16"
+        assert MMA_M16N8K8.name == "m16n8k8"
+
+    def test_flops(self):
+        assert MMA_M16N8K16.flops == 2 * 16 * 8 * 16
+
+
+class TestSemantics:
+    def test_exact_matches_numpy(self, rng):
+        a = rng.standard_normal((16, 16))
+        b = rng.standard_normal((16, 8))
+        c = rng.standard_normal((16, 8))
+        d = mma_dense(a, b, c, precision=MmaPrecision.EXACT)
+        assert np.allclose(d, a @ b + c)
+
+    def test_no_accumulator(self, rng):
+        a = rng.standard_normal((16, 16))
+        b = rng.standard_normal((16, 8))
+        assert np.allclose(
+            mma_dense(a, b, precision=MmaPrecision.EXACT), a @ b
+        )
+
+    def test_fp16_rounds_inputs(self):
+        # a value not representable in fp16 gets rounded before the MAC
+        a = np.zeros((16, 16))
+        a[0, 0] = 1.0 + 2**-13  # rounds to 1.0 in fp16
+        b = np.zeros((16, 8))
+        b[0, 0] = 1.0
+        d = mma_dense(a, b, precision=MmaPrecision.FP16)
+        assert d[0, 0] == np.float32(1.0)
+
+    def test_fp16_accumulates_fp32(self, rng):
+        a = rng.standard_normal((16, 16)).astype(np.float16).astype(np.float64)
+        b = rng.standard_normal((16, 8)).astype(np.float16).astype(np.float64)
+        d = mma_dense(a, b, precision=MmaPrecision.FP16)
+        assert d.dtype == np.float32
+        # float32 accumulation over k=16 → a few ulps of drift vs float64
+        assert np.allclose(d, (a @ b).astype(np.float32), rtol=1e-5, atol=1e-6)
+
+    def test_k8_variant(self, rng):
+        a = rng.standard_normal((16, 8))
+        b = rng.standard_normal((8, 8))
+        d = mma_dense(a, b, shape=MMA_M16N8K8, precision=MmaPrecision.EXACT)
+        assert np.allclose(d, a @ b)
+
+
+class TestValidation:
+    def test_wrong_a_shape(self, rng):
+        with pytest.raises(ValueError, match="A must be"):
+            mma_dense(np.zeros((8, 16)), np.zeros((16, 8)))
+
+    def test_wrong_b_shape(self):
+        with pytest.raises(ValueError, match="B must be"):
+            mma_dense(np.zeros((16, 16)), np.zeros((8, 8)))
+
+    def test_wrong_c_shape(self):
+        with pytest.raises(ValueError, match="C must be"):
+            mma_dense(np.zeros((16, 16)), np.zeros((16, 8)), np.zeros((8, 8)))
+
+    def test_bad_precision(self):
+        with pytest.raises(ValueError, match="precision"):
+            mma_dense(np.zeros((16, 16)), np.zeros((16, 8)), precision="fp8")
+
+
+class TestInstrumentation:
+    def test_issue_recorded(self, rng):
+        stream = InstructionStream()
+        mma_dense(
+            rng.standard_normal((16, 16)),
+            rng.standard_normal((16, 8)),
+            stream=stream,
+        )
+        assert stream.count("mma") == 1
+        assert stream.count_detail("mma", "m16n8k16") == 1

@@ -1,0 +1,154 @@
+"""Tests for sparse MMA semantics: mma.sp against its dense equivalent."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sptc import fragments as fr
+from repro.sptc.formats import GROUP, Sparse24Matrix
+from repro.sptc.instruction import InstructionStream
+from repro.sptc.mma import MmaPrecision
+from repro.sptc.mma_sp import (
+    MMA_SP_M16N8K32,
+    mma_sp,
+    mma_sp_lanewise,
+    sparse_matmul,
+    synthesize_metadata_registers,
+)
+
+from .test_formats import random_24_matrix
+
+
+class TestMatrixPath:
+    def test_equals_dense_product(self, rng):
+        a = Sparse24Matrix.from_dense(random_24_matrix(rng, 16, 16))
+        b = rng.standard_normal((16, 8))
+        d = mma_sp(a, b, precision=MmaPrecision.EXACT)
+        assert np.allclose(d, a.to_dense() @ b)
+
+    def test_accumulator(self, rng):
+        a = Sparse24Matrix.from_dense(random_24_matrix(rng, 16, 16))
+        b = rng.standard_normal((16, 8))
+        c = rng.standard_normal((16, 8))
+        d = mma_sp(a, b, c, precision=MmaPrecision.EXACT)
+        assert np.allclose(d, a.to_dense() @ b + c)
+
+    def test_k32_shape(self, rng):
+        a = Sparse24Matrix.from_dense(random_24_matrix(rng, 16, 32))
+        b = rng.standard_normal((32, 8))
+        d = mma_sp(a, b, shape=MMA_SP_M16N8K32, precision=MmaPrecision.EXACT)
+        assert np.allclose(d, a.to_dense() @ b)
+
+    def test_shape_validation(self, rng):
+        a = Sparse24Matrix.from_dense(random_24_matrix(rng, 16, 16))
+        with pytest.raises(ValueError, match="B must be"):
+            mma_sp(a, np.zeros((8, 8)))
+        a8 = Sparse24Matrix.from_dense(random_24_matrix(rng, 8, 16))
+        with pytest.raises(ValueError, match="logical"):
+            mma_sp(a8, np.zeros((16, 8)))
+
+    def test_issue_counting(self, rng):
+        stream = InstructionStream()
+        a = Sparse24Matrix.from_dense(random_24_matrix(rng, 16, 16))
+        mma_sp(a, rng.standard_normal((16, 8)), stream=stream)
+        assert stream.count("mma.sp") == 1
+
+    @given(seed=st.integers(0, 2**31), density=st.integers(0, 2))
+    @settings(max_examples=30, deadline=None)
+    def test_selection_gather_property(self, seed, density):
+        rng = np.random.default_rng(seed)
+        dense = (
+            random_24_matrix(rng, 16, 16, density)
+            if density
+            else np.zeros((16, 16))
+        )
+        a = Sparse24Matrix.from_dense(dense)
+        b = rng.standard_normal((16, 8))
+        assert np.allclose(
+            mma_sp(a, b, precision=MmaPrecision.EXACT), dense @ b
+        )
+
+
+class TestSparseMatmul:
+    def test_arbitrary_shapes(self, rng):
+        dense = random_24_matrix(rng, 8, 24)
+        a = Sparse24Matrix.from_dense(dense)
+        b = rng.standard_normal((24, 50))
+        d = sparse_matmul(a, b, precision=MmaPrecision.EXACT)
+        assert np.allclose(d, dense @ b)
+
+    def test_tiled_issue_count(self, rng):
+        stream = InstructionStream()
+        dense = random_24_matrix(rng, 8, 32)
+        a = Sparse24Matrix.from_dense(dense)
+        sparse_matmul(a, rng.standard_normal((32, 20)), stream=stream)
+        # ceil(8/16)*ceil(20/8)*ceil(32/16) = 1*3*2
+        assert stream.count("mma.sp") == 6
+
+    def test_b_shape_checked(self, rng):
+        a = Sparse24Matrix.from_dense(random_24_matrix(rng, 8, 16))
+        with pytest.raises(ValueError):
+            sparse_matmul(a, np.zeros((8, 4)))
+
+
+class TestLanewisePath:
+    @pytest.mark.parametrize("selector", [0, 1, 2, 3])
+    def test_matches_matrix_path(self, rng, selector):
+        dense = random_24_matrix(rng, 16, 16)
+        a = Sparse24Matrix.from_dense(dense)
+        b = rng.standard_normal((16, 8))
+        b_regs = fr.distribute_b(b)
+        d_regs = mma_sp_lanewise(
+            a, b_regs, selector=selector, precision=MmaPrecision.EXACT
+        )
+        d = fr.collect_acc(d_regs)
+        assert np.allclose(d, dense @ b)
+
+    def test_accumulator_regs(self, rng):
+        dense = random_24_matrix(rng, 16, 16)
+        a = Sparse24Matrix.from_dense(dense)
+        b = rng.standard_normal((16, 8))
+        c = rng.standard_normal((16, 8))
+        d_regs = mma_sp_lanewise(
+            a,
+            fr.distribute_b(b),
+            fr.distribute_acc(c),
+            precision=MmaPrecision.EXACT,
+        )
+        assert np.allclose(fr.collect_acc(d_regs), dense @ b + c)
+
+    def test_metadata_register_synthesis(self, rng):
+        a = Sparse24Matrix.from_dense(random_24_matrix(rng, 16, 16))
+        regs = synthesize_metadata_registers(a, selector=1)
+        active = fr.metadata_fragment_lanes(1)
+        inactive = [l for l in range(32) if l not in active]
+        assert (regs[inactive] == 0).all()
+
+    def test_explicit_metadata_regs(self, rng):
+        dense = random_24_matrix(rng, 16, 16)
+        a = Sparse24Matrix.from_dense(dense)
+        b = rng.standard_normal((16, 8))
+        regs = synthesize_metadata_registers(a, selector=2)
+        d_regs = mma_sp_lanewise(
+            a,
+            fr.distribute_b(b),
+            metadata_regs=regs,
+            selector=2,
+            precision=MmaPrecision.EXACT,
+        )
+        assert np.allclose(fr.collect_acc(d_regs), dense @ b)
+
+    def test_requires_m16k16(self, rng):
+        a = Sparse24Matrix.from_dense(random_24_matrix(rng, 8, 16))
+        with pytest.raises(ValueError, match="m16n8k16"):
+            mma_sp_lanewise(a, np.zeros((32, 4)))
+
+    def test_fp16_close_to_exact(self, rng):
+        dense = random_24_matrix(rng, 16, 16)
+        a = Sparse24Matrix.from_dense(dense)
+        b = rng.standard_normal((16, 8))
+        d16 = fr.collect_acc(
+            mma_sp_lanewise(a, fr.distribute_b(b), precision=MmaPrecision.FP16)
+        )
+        assert np.allclose(d16, dense @ b, atol=5e-2)

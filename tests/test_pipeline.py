@@ -1,0 +1,85 @@
+"""Tests for the public Spider API."""
+
+import numpy as np
+import pytest
+
+from repro import Grid, Spider, SpiderVariant, named_stencil
+from repro.core.row_swap import RowSwapStrategy
+from repro.stencil import make_box_kernel, naive_stencil
+
+
+class TestPublicAPI:
+    def test_quickstart_flow(self, rng):
+        spider = Spider(named_stencil("heat2d"))
+        g = Grid.random((64, 64), rng)
+        out = spider.run(g)
+        assert out.shape == (64, 64)
+        assert np.allclose(out, naive_stencil(named_stencil("heat2d"), g))
+
+    def test_top_level_exports(self):
+        import repro
+
+        assert hasattr(repro, "Spider")
+        assert hasattr(repro, "StencilSpec")
+        assert repro.__version__
+
+    def test_encoded_rows_exposed(self, rng):
+        sp = Spider(make_box_kernel(2, 2, rng))
+        assert len(sp.encoded_rows) == 5  # 2r+1 kernel rows
+
+
+class TestCompileReport:
+    def test_report_fields(self, rng):
+        sp = Spider(make_box_kernel(2, 3, rng))
+        rep = sp.compile_report()
+        assert rep.L == 8
+        assert rep.width == 16
+        assert rep.sparsity == pytest.approx(0.5)
+        assert rep.num_kernel_rows == 7
+        assert rep.row_swap_strategy is RowSwapStrategy.FOLDED_OFFSET
+        # half the dense parameters stored
+        assert rep.parameter_elements == 7 * 8 * 8
+
+    def test_packing_wins_reported(self, rng):
+        rep = Spider(make_box_kernel(2, 7, rng)).compile_report()
+        assert rep.packed_kernel_transactions < rep.unpacked_kernel_transactions
+        assert rep.metadata_registers_packed <= rep.metadata_registers_naive
+
+    def test_report_cached(self, rng):
+        sp = Spider(make_box_kernel(2, 1, rng))
+        assert sp.compile_report() is sp.compile_report()
+
+    def test_store_permute_strategy_small_radius(self, rng):
+        rep = Spider(make_box_kernel(2, 1, rng)).compile_report()
+        assert rep.row_swap_strategy is RowSwapStrategy.STORE_PERMUTE
+
+
+class TestEstimation:
+    def test_estimated_gstencils_positive(self, rng):
+        sp = Spider(make_box_kernel(2, 2, rng))
+        g = sp.estimated_gstencils((10240, 10240))
+        assert 10 < g < 1000  # paper ballpark for Box-2D2R
+
+    def test_larger_radius_slower(self, rng):
+        g1 = Spider(make_box_kernel(2, 1, rng)).estimated_gstencils((10240, 10240))
+        g3 = Spider(make_box_kernel(2, 3, rng)).estimated_gstencils((10240, 10240))
+        assert g3 < g1
+
+    def test_timing_breakdown(self, rng):
+        sp = Spider(make_box_kernel(2, 2, rng))
+        t = sp.estimated_time((4096, 4096))
+        assert t.total_s > 0
+        assert t.bound in ("compute", "memory")
+
+    def test_tile_plan(self, rng):
+        plan = Spider(make_box_kernel(2, 2, rng)).tile_plan((1024, 1024))
+        assert plan.num_blocks > 0
+
+
+class TestVariantsAPI:
+    def test_all_variants_equivalent_functionally(self, rng):
+        spec = make_box_kernel(2, 1, rng)
+        g = Grid.random((20, 24), rng)
+        ref = naive_stencil(spec, g)
+        for variant in SpiderVariant:
+            assert np.allclose(Spider(spec, variant=variant).run(g), ref), variant

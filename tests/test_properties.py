@@ -1,0 +1,173 @@
+"""Cross-cutting property tests and failure injection.
+
+These widen the hypothesis coverage beyond the per-module suites: the full
+SPIDER pipeline fuzzed end-to-end, the faithful-vs-fast agreement as a
+property, and corruption of the compressed representation (which the
+format layer must detect or which must visibly change results — never be
+silently absorbed).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Spider, encode_kernel_row
+from repro.sptc import MmaPrecision, Sparse24Matrix, sparse_matmul
+from repro.stencil import (
+    BoundaryCondition,
+    Grid,
+    ShapeType,
+    StencilSpec,
+    naive_stencil,
+)
+
+
+def spec_strategy(dims: int, max_radius: int = 3):
+    """Random StencilSpec values via hypothesis."""
+
+    @st.composite
+    def build(draw):
+        r = draw(st.integers(1, max_radius))
+        side = 2 * r + 1
+        n = side**dims
+        vals = draw(
+            st.lists(
+                st.floats(-4, 4, allow_nan=False, width=32),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        w = np.array(vals, dtype=np.float64).reshape((side,) * dims)
+        return StencilSpec(ShapeType.BOX, dims, r, w)
+
+    return build()
+
+
+class TestEndToEndFuzz:
+    @given(spec=spec_strategy(1), n=st.integers(5, 120), seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_1d_pipeline_property(self, spec, n, seed):
+        rng = np.random.default_rng(seed)
+        g = Grid.random((n,), rng)
+        out = Spider(spec).run(g)
+        ref = naive_stencil(spec, g)
+        assert np.allclose(out, ref, atol=1e-9)
+
+    @given(
+        spec=spec_strategy(2, max_radius=2),
+        rows=st.integers(1, 16),
+        cols=st.integers(1, 24),
+        bc=st.sampled_from(
+            [BoundaryCondition.ZERO, BoundaryCondition.PERIODIC]
+        ),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_2d_pipeline_property(self, spec, rows, cols, bc, seed):
+        rng = np.random.default_rng(seed)
+        g = Grid.random((rows, cols), rng, bc)
+        out = Spider(spec).run(g)
+        assert np.allclose(out, naive_stencil(spec, g), atol=1e-9)
+
+    @given(r=st.integers(1, 3), seed=st.integers(0, 2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_faithful_equals_fast_property(self, r, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.standard_normal((2 * r + 1, 2 * r + 1))
+        spec = StencilSpec(ShapeType.BOX, 2, r, w)
+        g = Grid.random((4, 2 * (2 * r + 2)), rng)
+        sp = Spider(spec)
+        assert np.allclose(sp.run_faithful(g).output, sp.run(g), atol=1e-10)
+
+    @given(spec=spec_strategy(2, max_radius=2), seed=st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_linearity_property(self, spec, seed):
+        """The whole pipeline is linear: S(a x + b y) = a S(x) + b S(y)."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((10, 14))
+        y = rng.standard_normal((10, 14))
+        sp = Spider(spec)
+        lhs = sp.run(Grid(2.5 * x - 1.5 * y))
+        rhs = 2.5 * sp.run(Grid(x)) - 1.5 * sp.run(Grid(y))
+        assert np.allclose(lhs, rhs, atol=1e-9)
+
+
+class TestFailureInjection:
+    def test_corrupted_position_detected_or_changes_result(self, rng):
+        """Flipping one metadata position must never be silently absorbed:
+        either the container rejects it (non-increasing pair) or the
+        product changes for a structural slot."""
+        enc = encode_kernel_row(rng.standard_normal(7))
+        b = rng.standard_normal((enc.width, 5))
+        baseline = sparse_matmul(enc.sparse, b, precision=MmaPrecision.EXACT)
+        detected = changed = 0
+        for i in range(enc.sparse.positions.shape[0]):
+            for s in range(enc.sparse.positions.shape[1]):
+                if enc.sparse.values[i, s] == 0.0:
+                    continue  # placeholder slots are value-dead
+                pos = enc.sparse.positions.copy()
+                pos[i, s] = (pos[i, s] + 1) % 4
+                try:
+                    bad = Sparse24Matrix(enc.sparse.values.copy(), pos, enc.width)
+                except ValueError:
+                    detected += 1
+                    continue
+                out = sparse_matmul(bad, b, precision=MmaPrecision.EXACT)
+                if not np.allclose(out, baseline):
+                    changed += 1
+                else:  # pragma: no cover - would be a real bug
+                    raise AssertionError(
+                        f"corruption at ({i},{s}) silently absorbed"
+                    )
+        assert detected + changed > 0
+
+    def test_corrupted_value_changes_result(self, rng):
+        enc = encode_kernel_row(rng.standard_normal(5))
+        b = rng.standard_normal((enc.width, 3))
+        baseline = sparse_matmul(enc.sparse, b, precision=MmaPrecision.EXACT)
+        vals = enc.sparse.values.copy()
+        # perturb the first structural (non-placeholder) slot
+        i, s = np.argwhere(vals != 0)[0]
+        vals[i, s] += 1.0
+        bad = Sparse24Matrix(vals, enc.sparse.positions.copy(), enc.width)
+        out = sparse_matmul(bad, b, precision=MmaPrecision.EXACT)
+        assert not np.allclose(out, baseline)
+
+    def test_nan_kernel_rejected_at_spec_level(self):
+        w = np.ones((3, 3))
+        w[0, 0] = np.inf
+        with pytest.raises(ValueError):
+            StencilSpec(ShapeType.BOX, 2, 1, w)
+
+
+class TestMetamorphic:
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_translation_equivariance(self, seed):
+        """Shifting the input shifts the output (away from boundaries)."""
+        rng = np.random.default_rng(seed)
+        w = rng.standard_normal((3, 3))
+        spec = StencilSpec(ShapeType.BOX, 2, 1, w)
+        sp = Spider(spec)
+        x = rng.standard_normal((16, 16))
+        shifted = np.roll(x, (2, 3), axis=(0, 1))
+        out = sp.run(Grid(x))
+        out_shifted = sp.run(Grid(shifted))
+        # compare interior where neither halo matters
+        a = np.roll(out, (2, 3), axis=(0, 1))[4:-4, 5:-5]
+        b = out_shifted[4:-4, 5:-5]
+        assert np.allclose(a, b, atol=1e-9)
+
+    @given(seed=st.integers(0, 2**31), scale=st.floats(0.1, 8.0))
+    @settings(max_examples=15, deadline=None)
+    def test_kernel_scaling(self, seed, scale):
+        """Scaling the kernel scales the output (AOT encoding is linear)."""
+        rng = np.random.default_rng(seed)
+        w = rng.standard_normal((5, 5))
+        spec = StencilSpec(ShapeType.BOX, 2, 2, w)
+        scaled = spec.with_weights(scale * w)
+        g = Grid.random((12, 18), rng)
+        assert np.allclose(
+            Spider(scaled).run(g), scale * Spider(spec).run(g), atol=1e-8
+        )

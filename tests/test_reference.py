@@ -1,0 +1,117 @@
+"""Tests for the golden reference executors."""
+
+import numpy as np
+import pytest
+
+from repro.stencil import (
+    BoundaryCondition,
+    Grid,
+    l2_error,
+    make_box_kernel,
+    make_star_kernel,
+    max_abs_error,
+    naive_stencil,
+    named_stencil,
+    run_iterations,
+    vectorized_stencil,
+)
+
+
+class TestNaiveVsVectorized:
+    @pytest.mark.parametrize("dims,shape", [(1, (40,)), (2, (9, 13)), (3, (5, 6, 7))])
+    @pytest.mark.parametrize("r", [1, 2])
+    def test_agreement_box(self, rng, dims, shape, r):
+        spec = make_box_kernel(dims, r, rng)
+        g = Grid.random(shape, rng)
+        assert np.allclose(naive_stencil(spec, g), vectorized_stencil(spec, g))
+
+    @pytest.mark.parametrize(
+        "bc",
+        [
+            BoundaryCondition.ZERO,
+            BoundaryCondition.PERIODIC,
+            BoundaryCondition.NEAREST,
+        ],
+    )
+    def test_agreement_boundary_conditions(self, rng, bc):
+        spec = make_star_kernel(2, 2, rng)
+        g = Grid.random((12, 15), rng, bc)
+        assert np.allclose(naive_stencil(spec, g), vectorized_stencil(spec, g))
+
+    def test_dims_mismatch_raises(self, rng):
+        spec = make_box_kernel(2, 1, rng)
+        with pytest.raises(ValueError):
+            naive_stencil(spec, Grid.random((10,), rng))
+        with pytest.raises(ValueError):
+            vectorized_stencil(spec, Grid.random((10,), rng))
+
+    def test_identity_kernel(self):
+        w = np.zeros((3, 3))
+        w[1, 1] = 1.0
+        from repro.stencil.spec import ShapeType, StencilSpec
+
+        spec = StencilSpec(ShapeType.BOX, 2, 1, w)
+        g = Grid(np.arange(12, dtype=float).reshape(3, 4))
+        assert np.allclose(naive_stencil(spec, g), g.data)
+
+    def test_shift_kernel(self):
+        # kernel picking the left neighbour: out[i] = in[i-1]
+        w = np.array([1.0, 0.0, 0.0])
+        from repro.stencil.spec import ShapeType, StencilSpec
+
+        spec = StencilSpec(ShapeType.BOX, 1, 1, w)
+        g = Grid(np.arange(5, dtype=float))
+        out = naive_stencil(spec, g)
+        assert np.allclose(out, [0, 0, 1, 2, 3])
+
+
+class TestIterations:
+    def test_step_count(self, rng):
+        spec = named_stencil("heat2d")
+        g = Grid.random((16, 16), rng)
+        final, snaps = run_iterations(spec, g, 5, record_every=2)
+        assert len(snaps) == 2  # after steps 2 and 4
+
+    def test_zero_steps_identity(self, rng):
+        spec = named_stencil("heat2d")
+        g = Grid.random((8, 8), rng)
+        final, _ = run_iterations(spec, g, 0)
+        assert final is g
+
+    def test_negative_steps_rejected(self, rng):
+        with pytest.raises(ValueError):
+            run_iterations(named_stencil("heat2d"), Grid.random((8, 8), rng), -1)
+
+    def test_heat_diffusion_decays(self, rng):
+        # with zero boundaries, total heat leaks out monotonically
+        spec = named_stencil("heat2d")
+        g = Grid(np.abs(rng.standard_normal((20, 20))))
+        final, _ = run_iterations(spec, g, 50)
+        assert final.data.sum() < g.data.sum()
+        assert (final.data >= -1e-12).all()
+
+    def test_custom_executor_used(self, rng):
+        calls = []
+
+        def exe(spec, grid):
+            calls.append(1)
+            return grid.data
+
+        final, _ = run_iterations(
+            named_stencil("heat2d"), Grid.random((4, 4), rng), 3, executor=exe
+        )
+        assert len(calls) == 3
+
+
+class TestErrorMetrics:
+    def test_l2_zero_for_identical(self, rng):
+        a = rng.standard_normal((5, 5))
+        assert l2_error(a, a) == 0.0
+
+    def test_max_abs(self):
+        assert max_abs_error(np.array([1.0, 2.0]), np.array([1.0, 4.0])) == 2.0
+
+    def test_l2_relative(self):
+        b = np.array([3.0, 4.0])  # norm 5
+        a = b + np.array([0.0, 5.0])
+        assert abs(l2_error(a, b) - 1.0) < 1e-12

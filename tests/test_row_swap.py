@@ -1,0 +1,98 @@
+"""Tests for zero-cost runtime row swapping (§3.2, Table 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernel_matrix import padded_width
+from repro.core.row_swap import (
+    RowSwapStrategy,
+    baseline_offset_expr,
+    baseline_row_offset_fn,
+    offset_table,
+    strategy_for,
+    swapped_offset_expr,
+    swapped_row_offset_fn,
+)
+from repro.core.swapping import strided_permutation
+from repro.gpu.jit import count_ops, evaluate, unroll
+
+
+class TestStrategySelection:
+    def test_folded_for_L_multiple_of_8(self):
+        # r = 3 (L=8), r = 7 (L=16), r = 11 (L=24)
+        for r in (3, 7, 11):
+            assert strategy_for(r) is RowSwapStrategy.FOLDED_OFFSET
+
+    def test_store_permute_otherwise(self):
+        for r in (1, 2, 4, 5, 6):
+            assert strategy_for(r) is RowSwapStrategy.STORE_PERMUTE
+
+
+class TestOffsetFunctions:
+    @pytest.mark.parametrize("r", [1, 2, 3, 5, 7])
+    def test_swapped_fn_equals_permutation(self, r):
+        """The runtime offset function IS the strided permutation."""
+        from repro.core.kernel_matrix import choose_L
+
+        L = choose_L(r)
+        width = padded_width(r)
+        perm = strided_permutation(L, width)
+        for kk in range(width // 16):
+            fn = swapped_row_offset_fn(r, kk)
+            base = baseline_row_offset_fn(kk)
+            for lane in range(32):
+                for i in range(4):
+                    b = base(lane, i)
+                    expected = perm[b] if b < width else b
+                    assert fn(lane, i) == expected
+
+    def test_offset_table_complete(self):
+        table = offset_table(3)
+        assert len(table) == (padded_width(3) // 16) * 32 * 4
+
+
+class TestSymbolicFold:
+    @pytest.mark.parametrize("r", [3, 7, 11])
+    def test_zero_instruction_overhead(self, r):
+        """Table 3's mechanism: after unrolling (i, k), the swapped offset
+        expression folds to exactly the same instruction count as the
+        baseline — zero runtime cost."""
+        base = baseline_offset_expr()
+        swapped = swapped_offset_expr(r)
+        width = padded_width(r)
+        for k in range(width // 16):
+            for i in range(4):
+                ub = unroll(base, {"i": i})
+                us = unroll(swapped, {"i": i, "k": k})
+                assert count_ops(us) == count_ops(ub)
+
+    @pytest.mark.parametrize("r", [3, 7])
+    def test_folded_values_match_oracle(self, r):
+        swapped = swapped_offset_expr(r)
+        table = offset_table(r)
+        width = padded_width(r)
+        for k in range(width // 16):
+            for i in range(4):
+                for lane in (0, 3, 17, 31):
+                    val = evaluate(swapped, {"i": i, "k": k, "lane": lane})
+                    assert k * 16 + val == table[(k, lane, i)]
+
+    def test_paper_pm16_term_for_r7(self):
+        """Box-2D7R: the swap term is ±16 on odd-row elements, 0 on even —
+        the paper's 16·(−1)^k structure (modulo its 0/1-based parity)."""
+        swapped = swapped_offset_expr(7)
+        base = baseline_offset_expr()
+        for k in (0, 1):
+            for i in range(4):
+                for lane in (0, 9, 22):
+                    delta = evaluate(swapped, {"i": i, "k": k, "lane": lane}) - (
+                        evaluate(base, {"i": i, "lane": lane})
+                    )
+                    if i % 2 == 1:  # swapped-parity elements
+                        assert delta == 16 * (-1) ** k
+                    else:
+                        assert delta == 0
+
+    def test_unfoldable_radius_raises(self):
+        with pytest.raises(ValueError, match="STORE_PERMUTE"):
+            swapped_offset_expr(2)

@@ -1,0 +1,118 @@
+"""Tests for the iterative solver drivers."""
+
+import numpy as np
+import pytest
+
+from repro import Grid, Spider, named_stencil
+from repro.stencil import ShapeType, StencilSpec
+from repro.stencil.solvers import (
+    jacobi_poisson,
+    power_iteration,
+    richardson,
+)
+
+
+def _poisson_residual(u: np.ndarray, rhs: np.ndarray) -> float:
+    """||-lap(u) - rhs|| / ||rhs|| with unit spacing, zero BC."""
+    lap = (
+        -2 * u.ndim * u
+        + sum(
+            np.roll(np.pad(u, 1), s, axis=a)[
+                tuple(slice(1, -1) for _ in range(u.ndim))
+            ]
+            for a in range(u.ndim)
+            for s in (-1, 1)
+        )
+    )
+    return float(np.linalg.norm(-lap - rhs) / np.linalg.norm(rhs))
+
+
+class TestJacobi:
+    def test_solves_2d_poisson(self, rng):
+        rhs = rng.standard_normal((24, 24))
+        res = jacobi_poisson(rhs, tol=1e-10, max_iter=20000)
+        assert res.converged
+        assert _poisson_residual(res.solution, rhs) < 1e-6
+
+    def test_solves_1d(self, rng):
+        rhs = rng.standard_normal(32)
+        res = jacobi_poisson(rhs, tol=1e-10, max_iter=20000)
+        assert res.converged
+
+    def test_spider_executor_matches_reference(self, rng):
+        rhs = rng.standard_normal((16, 16))
+        compiled = {}
+
+        def spider_exec(spec, grid):
+            sp = compiled.setdefault(spec.weights.tobytes(), Spider(spec))
+            return sp.run(grid)
+
+        a = jacobi_poisson(rhs, tol=1e-9, max_iter=5000)
+        b = jacobi_poisson(rhs, executor=spider_exec, tol=1e-9, max_iter=5000)
+        assert b.converged == a.converged
+        assert np.allclose(a.solution, b.solution, atol=1e-7)
+
+    def test_history_recorded_and_monotone_tail(self, rng):
+        rhs = rng.standard_normal((12, 12))
+        res = jacobi_poisson(rhs, tol=1e-12, max_iter=400, record_history=True)
+        assert len(res.residual_history) == res.iterations
+        tail = res.residual_history[50:]
+        assert all(b <= a * 1.001 for a, b in zip(tail, tail[1:]))
+
+    def test_non_convergence_reported(self, rng):
+        rhs = rng.standard_normal((24, 24))
+        res = jacobi_poisson(rhs, tol=1e-14, max_iter=3)
+        assert not res.converged
+        assert res.iterations == 3
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            jacobi_poisson(np.zeros((2, 2, 2, 2)))
+
+
+class TestRichardson:
+    def test_matches_jacobi_fixed_point(self, rng):
+        # -Laplacian operator as a stencil spec
+        w = np.zeros((3, 3))
+        w[1, 1] = 4.0
+        w[0, 1] = w[2, 1] = w[1, 0] = w[1, 2] = -1.0
+        op = StencilSpec(ShapeType.STAR, 2, 1, w, "neg_laplace")
+        rhs = rng.standard_normal((16, 16))
+        res = richardson(rhs, op, omega=0.2, tol=1e-10, max_iter=50000)
+        assert res.converged
+        assert _poisson_residual(res.solution, rhs) < 1e-6
+
+    def test_omega_validation(self, rng):
+        op = named_stencil("jacobi2d")
+        with pytest.raises(ValueError):
+            richardson(np.zeros((4, 4)), op, omega=0.0)
+
+
+class TestPowerIteration:
+    def test_jacobi_spectral_radius(self):
+        """Dominant eigenvalue of neighbour averaging on an n-grid with
+        zero BC is cos(pi/(n+1)) in 1D."""
+        spec = named_stencil("jacobi2d")
+        n = 15
+        lam = power_iteration(spec, (n, n), iters=400)
+        expected = np.cos(np.pi / (n + 1))  # 2D: same as 1D for this op
+        assert lam == pytest.approx(expected, abs=1e-3)
+        assert lam < 1.0  # the smoother is contractive
+
+    def test_spider_executor_agrees(self):
+        spec = named_stencil("jacobi2d")
+        sp = Spider(spec)
+        lam_ref = power_iteration(spec, (12, 12), iters=200)
+        lam_spider = power_iteration(
+            spec, (12, 12), iters=200, executor=lambda s, g: sp.run(g)
+        )
+        assert lam_spider == pytest.approx(lam_ref, abs=1e-10)
+
+    def test_zero_operator(self):
+        w = np.zeros((3, 3))
+        spec = StencilSpec(ShapeType.BOX, 2, 1, w)
+        assert power_iteration(spec, (8, 8), iters=3) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            power_iteration(named_stencil("jacobi2d"), (8, 8), iters=0)

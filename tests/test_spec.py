@@ -1,0 +1,146 @@
+"""Tests for repro.stencil.spec."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.spec import (
+    ShapeType,
+    StencilSpec,
+    box_mask,
+    make_box_kernel,
+    make_star_kernel,
+    named_stencil,
+    star_mask,
+)
+
+
+class TestMasks:
+    def test_box_mask_all_true(self):
+        m = box_mask(2, 2)
+        assert m.shape == (5, 5)
+        assert m.all()
+
+    def test_star_mask_2d_count(self):
+        # star footprint: 2*d*r + 1 points
+        for r in (1, 2, 3):
+            m = star_mask(2, r)
+            assert int(m.sum()) == 4 * r + 1
+
+    def test_star_mask_3d_count(self):
+        for r in (1, 2):
+            m = star_mask(3, r)
+            assert int(m.sum()) == 6 * r + 1
+
+    def test_star_mask_1d_equals_box(self):
+        assert (star_mask(1, 3) == box_mask(1, 3)).all()
+
+    def test_star_mask_centre_row_full(self):
+        m = star_mask(2, 2)
+        assert m[2, :].all()
+        assert m[:, 2].all()
+
+    def test_star_mask_corner_false(self):
+        m = star_mask(2, 2)
+        assert not m[0, 0]
+        assert not m[4, 4]
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            star_mask(0, 1)
+        with pytest.raises(ValueError):
+            box_mask(2, -1)
+
+
+class TestStencilSpec:
+    def test_basic_construction(self, rng):
+        spec = make_box_kernel(2, 2, rng)
+        assert spec.side == 5
+        assert spec.num_points == 25
+        assert spec.dims == 2
+        assert spec.radius == 2
+
+    def test_weights_frozen(self, rng):
+        spec = make_box_kernel(2, 1, rng)
+        with pytest.raises(ValueError):
+            spec.weights[0, 0] = 7.0
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            StencilSpec(ShapeType.BOX, 2, 2, np.ones((3, 3)))
+
+    def test_star_with_corner_weight_rejected(self):
+        w = np.zeros((3, 3))
+        w[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            StencilSpec(ShapeType.STAR, 2, 1, w)
+
+    def test_nonfinite_rejected(self):
+        w = np.ones((3, 3))
+        w[1, 1] = np.nan
+        with pytest.raises(ValueError):
+            StencilSpec(ShapeType.BOX, 2, 1, w)
+
+    def test_radius_zero_rejected(self):
+        with pytest.raises(ValueError):
+            StencilSpec(ShapeType.BOX, 1, 0, np.ones(1))
+
+    def test_dims_validation(self):
+        with pytest.raises(ValueError):
+            StencilSpec(ShapeType.BOX, 4, 1, np.ones((3, 3, 3, 3)))
+
+    def test_shape_type_validation(self):
+        with pytest.raises(TypeError):
+            StencilSpec("box", 2, 1, np.ones((3, 3)))
+
+    def test_benchmark_id(self, rng):
+        assert make_box_kernel(1, 2, rng).benchmark_id == "1D2R"
+        assert make_box_kernel(2, 3, rng).benchmark_id == "Box-2D3R"
+        assert make_star_kernel(2, 1, rng).benchmark_id == "Star-2D1R"
+
+    def test_num_nonzero_star(self, rng):
+        spec = make_star_kernel(2, 2, rng)
+        assert spec.num_nonzero <= spec.num_points == 9
+
+    def test_is_symmetric(self, rng):
+        sym = make_box_kernel(2, 2, rng, symmetric=True)
+        assert sym.is_symmetric
+        w = np.arange(9, dtype=float).reshape(3, 3)
+        asym = StencilSpec(ShapeType.BOX, 2, 1, w)
+        assert not asym.is_symmetric
+
+    def test_kernel_rows_shapes(self, rng):
+        assert make_box_kernel(1, 2, rng).kernel_rows().shape == (1, 5)
+        assert make_box_kernel(2, 2, rng).kernel_rows().shape == (5, 5)
+        assert make_box_kernel(3, 1, rng).kernel_rows().shape == (9, 3)
+
+    def test_flattened(self, rng):
+        spec = make_box_kernel(2, 1, rng)
+        assert spec.flattened().shape == (9,)
+        assert np.allclose(spec.flattened().reshape(3, 3), spec.weights)
+
+    def test_with_weights(self, rng):
+        spec = make_box_kernel(2, 1, rng)
+        new = spec.with_weights(np.zeros((3, 3)))
+        assert new.radius == spec.radius
+        assert np.all(new.weights == 0)
+
+
+class TestNamedStencils:
+    @pytest.mark.parametrize(
+        "name",
+        ["heat1d", "heat2d", "heat3d", "jacobi2d", "blur2d", "blur3d", "wave1d", "wave2d"],
+    )
+    def test_all_named_build(self, name):
+        spec = named_stencil(name)
+        assert spec.name == name
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            named_stencil("nonexistent")
+
+    def test_heat2d_conserves_mass(self):
+        # coefficients of the diffusion operator sum to 1
+        assert abs(named_stencil("heat2d").weights.sum() - 1.0) < 1e-12
+
+    def test_blur2d_normalized(self):
+        assert abs(named_stencil("blur2d").weights.sum() - 1.0) < 1e-12

@@ -1,0 +1,88 @@
+"""Tests for the cuSPARSELt-style library layer — including the §2.4.2
+argument that pruning cannot replace SPIDER's lossless transformation."""
+
+import numpy as np
+import pytest
+
+from repro.core import apply_column_swap, build_kernel_matrix, choose_L
+from repro.sptc import MmaPrecision
+from repro.sptc.spmm_lib import SpmmHandle, prune_24, prune_error
+
+from .test_formats import random_24_matrix
+
+
+class TestPrune:
+    def test_prune_enforces_pattern(self, rng):
+        a = rng.standard_normal((8, 16))
+        from repro.sptc import is_24_sparse
+
+        assert is_24_sparse(prune_24(a))
+
+    def test_prune_lossless_iff_already_24(self, rng):
+        a = random_24_matrix(rng, 8, 16)
+        assert prune_error(a) == 0.0
+        dense = rng.standard_normal((8, 16))
+        assert prune_error(dense) > 0.1
+
+    def test_prune_keeps_largest(self):
+        a = np.array([[1.0, -5.0, 2.0, 0.5]])
+        p = prune_24(a)
+        assert p.tolist() == [[0.0, -5.0, 2.0, 0.0]]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            prune_24(np.zeros((2, 6)))
+
+
+class TestSpiderVsPruning:
+    def test_pruning_stencil_kernel_matrix_is_lossy(self, rng):
+        """§2.4.2: the *unswapped* kernel matrix is not 2:4, so a prune-
+        based library corrupts the stencil; the strided swap makes the same
+        values 2:4 with zero loss."""
+        row = rng.standard_normal(7)  # r = 3
+        k = build_kernel_matrix(row)
+        assert prune_error(k) > 0.0  # pruning destroys coefficients
+        swapped = apply_column_swap(k, choose_L(3))
+        assert prune_error(swapped) == 0.0  # the swap is lossless
+
+
+class TestHandle:
+    def test_plan_and_matmul(self, rng):
+        dense = random_24_matrix(rng, 16, 32)
+        b = rng.standard_normal((32, 12))
+        handle = SpmmHandle()
+        plan = handle.plan(dense, 12, precision=MmaPrecision.EXACT)
+        d = handle.matmul(plan, b)
+        assert np.allclose(d, dense @ b)
+
+    def test_accumulator(self, rng):
+        dense = random_24_matrix(rng, 8, 16)
+        b = rng.standard_normal((16, 4))
+        c = rng.standard_normal((8, 4))
+        handle = SpmmHandle()
+        plan = handle.plan(dense, 4, precision=MmaPrecision.EXACT)
+        assert np.allclose(handle.matmul(plan, b, c), dense @ b + c)
+
+    def test_rejects_dense_lhs(self, rng):
+        handle = SpmmHandle()
+        with pytest.raises(ValueError, match="strided swap"):
+            handle.plan(rng.standard_normal((8, 16)), 4)
+
+    def test_rejects_wrong_b(self, rng):
+        handle = SpmmHandle()
+        plan = handle.plan(random_24_matrix(rng, 8, 16), 4)
+        with pytest.raises(ValueError, match="B must be"):
+            handle.matmul(plan, np.zeros((16, 8)))
+
+    def test_instruction_accounting(self, rng):
+        handle = SpmmHandle()
+        plan = handle.plan(random_24_matrix(rng, 16, 16), 8)
+        handle.matmul(plan, rng.standard_normal((16, 8)))
+        assert handle.stream.count("mma.sp") == 1
+
+    def test_plan_validation(self, rng):
+        handle = SpmmHandle()
+        with pytest.raises(ValueError):
+            handle.plan(random_24_matrix(rng, 8, 16), 0)
+        with pytest.raises(ValueError):
+            handle.plan(random_24_matrix(rng, 8, 16), 4, precision="bf16")

@@ -1,0 +1,80 @@
+"""Tests for the table/figure generators and their text rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    figure10,
+    figure11,
+    figure12,
+    format_figure10,
+    format_figure11,
+    format_figure12,
+)
+from repro.analysis.tables import (
+    TABLE1_FORMULAS,
+    format_table2,
+    format_table3,
+    table2_rows,
+    table3_rows,
+)
+
+
+class TestTable1:
+    def test_all_methods_documented(self):
+        assert set(TABLE1_FORMULAS) == {
+            "LowerBound",
+            "ConvStencil",
+            "TCStencil",
+            "LoRAStencil",
+            "SPIDER",
+        }
+        for formulas in TABLE1_FORMULAS.values():
+            assert set(formulas) == {"computation", "input", "parameter"}
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table3_rows(grid_shape=(18, 48))
+
+    def test_zero_cost_claims(self, rows):
+        without, with_swap = rows
+        # Table 3's three rows: identical throughput, instructions, duration
+        assert with_swap.memory_throughput_rel == pytest.approx(1.0, abs=0.01)
+        assert with_swap.instruction_count == without.instruction_count
+        assert with_swap.duration_rel == pytest.approx(1.0, abs=0.01)
+
+    def test_formatting(self, rows):
+        text = format_table3(rows)
+        assert "Row Swapping" in text
+        assert "Instruction Counts" in text
+
+
+class TestTableFormatting:
+    def test_table2_text(self):
+        text = format_table2(table2_rows())
+        assert "SPIDER" in text and "56.00" in text
+        assert "286.72" in text  # TCStencil computation
+
+
+class TestFigureFormatting:
+    def test_figure10_text(self):
+        text = format_figure10(figure10())
+        assert "SPIDER" in text
+        assert "average speedups" in text
+
+    def test_figure11_text(self):
+        text = format_figure11(figure11("Box-2D1R"))
+        assert "512" in text and "10240" in text
+
+    def test_figure12_text(self):
+        text = format_figure12(figure12())
+        assert "1280" in text
+        assert "stage gains" in text
+
+    def test_figure11_shapes(self):
+        s = figure11("1D2R")
+        assert len(s.sizes) == 6
+        for series in s.gstencils.values():
+            assert len(series) == 6

@@ -1,0 +1,101 @@
+"""Tests for temporal kernel fusion."""
+
+import numpy as np
+import pytest
+
+from repro.core.temporal import TemporalSpider, fuse_kernel
+from repro.stencil import (
+    BoundaryCondition,
+    Grid,
+    make_box_kernel,
+    make_star_kernel,
+    named_stencil,
+    run_iterations,
+    vectorized_stencil,
+)
+
+
+class TestFuseKernel:
+    def test_radius_grows_linearly(self, rng):
+        spec = make_box_kernel(2, 1, rng)
+        fused = fuse_kernel(spec, 3)
+        assert fused.radius == 3
+        assert fused.weights.shape == (7, 7)
+
+    def test_identity_for_one_step(self, rng):
+        spec = make_box_kernel(2, 2, rng)
+        fused = fuse_kernel(spec, 1)
+        assert np.allclose(fused.weights, spec.weights)
+
+    def test_star_densifies_to_box(self, rng):
+        spec = make_star_kernel(2, 1, rng)
+        fused = fuse_kernel(spec, 2)
+        # the composed star has corner entries
+        assert fused.weights[0, 0] != 0 or fused.num_nonzero > spec.num_nonzero
+
+    @pytest.mark.parametrize("steps", [2, 3])
+    def test_fused_equals_repeated_sweeps_interior(self, rng, steps):
+        """The fused kernel reproduces t plain sweeps at interior points
+        (>= t·r from the boundary); the boundary ring differs because
+        Dirichlet stepping re-clamps the halo each step — which is exactly
+        what TemporalSpider's strip correction repairs."""
+        spec = make_box_kernel(2, 1, rng)
+        fused = fuse_kernel(spec, steps)
+        g = Grid.random((20, 24), rng)
+        stepped, _ = run_iterations(spec, g, steps)
+        once = vectorized_stencil(fused, g)
+        ring = steps * spec.radius
+        inner = (slice(ring, -ring), slice(ring, -ring))
+        assert np.allclose(once[inner], stepped.data[inner], atol=1e-10)
+        # and the boundary genuinely differs (the correction is not vacuous)
+        assert not np.allclose(once, stepped.data, atol=1e-10)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            fuse_kernel(make_box_kernel(1, 1, rng), 0)
+
+
+class TestTemporalSpider:
+    def test_matches_plain_stepping(self, rng):
+        spec = named_stencil("heat2d")
+        g = Grid.random((28, 36), rng)
+        ts = TemporalSpider(spec, steps=2)
+        fused = ts.run(g, total_steps=6)
+        plain, _ = run_iterations(spec, g, 6)
+        assert np.allclose(fused.data, plain.data, atol=1e-9)
+
+    def test_remainder_steps(self, rng):
+        spec = named_stencil("heat2d")
+        g = Grid.random((20, 20), rng)
+        ts = TemporalSpider(spec, steps=3)
+        out = ts.run(g, total_steps=5)  # one fused super-step + 2 plain
+        plain, _ = run_iterations(spec, g, 5)
+        assert np.allclose(out.data, plain.data, atol=1e-9)
+
+    def test_fused_radius(self, rng):
+        ts = TemporalSpider(make_box_kernel(2, 2, rng), steps=3)
+        assert ts.fused_radius == 6
+
+    def test_zero_steps_identity(self, rng):
+        spec = named_stencil("heat2d")
+        g = Grid.random((8, 8), rng)
+        out = TemporalSpider(spec, steps=2).run(g, 0)
+        assert np.array_equal(out.data, g.data)
+
+    def test_rejects_nonzero_bc(self, rng):
+        spec = named_stencil("heat2d")
+        g = Grid.random((8, 8), rng, BoundaryCondition.PERIODIC)
+        with pytest.raises(ValueError, match="ZERO"):
+            TemporalSpider(spec).run(g, 2)
+
+    def test_traffic_savings_positive(self, rng):
+        ts = TemporalSpider(make_box_kernel(2, 1, rng), steps=4)
+        assert ts.traffic_savings() > 1.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            TemporalSpider(named_stencil("heat2d"), steps=0)
+        with pytest.raises(ValueError):
+            TemporalSpider(named_stencil("heat2d")).run(
+                Grid.random((8, 8), rng), -1
+            )

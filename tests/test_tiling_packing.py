@@ -1,0 +1,106 @@
+"""Tests for hierarchical tiling (§3.3.1) and data packing (§3.3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.packing import (
+    kernel_load_audit,
+    pack_kernel_tiles,
+    plan_metadata_packing,
+    unpack_kernel_tiles,
+)
+from repro.core.tiling import TilePlan, make_tile_plan
+from repro.gpu.device import A100_80GB_PCIE
+
+
+class TestTilePlan:
+    def test_default_2d_plan(self):
+        plan = make_tile_plan(2, (10240, 10240), A100_80GB_PCIE)
+        assert plan.block[0] % plan.warp[0] == 0
+        assert plan.block[1] % plan.warp[1] == 0
+        assert plan.threads_per_block % 32 == 0
+        assert plan.num_blocks == (10240 // plan.block[0]) * (10240 // plan.block[1])
+
+    def test_halo_shape(self):
+        plan = TilePlan(radius=3, grid_shape=(128, 128), block=(64, 64), warp=(16, 32))
+        assert plan.halo_tile_shape == (70, 70)
+        assert plan.shared_mem_bytes == 70 * 70 * 2
+
+    def test_1d_plan(self):
+        plan = make_tile_plan(1, (10240000,), A100_80GB_PCIE)
+        assert plan.num_blocks >= 1
+
+    def test_warp_divides_block_enforced(self):
+        with pytest.raises(ValueError):
+            TilePlan(radius=1, grid_shape=(64, 64), block=(64, 64), warp=(48, 32))
+
+    def test_mma_issue_count_positive(self):
+        plan = TilePlan(radius=2, grid_shape=(64, 64), block=(64, 64), warp=(16, 32))
+        assert plan.mma_issues_per_warp_tile >= 1
+
+    def test_kernel_matrix_bypasses_smem(self):
+        # §3.3.1: the kernel matrix lives in registers — shared memory holds
+        # only the input tile, whose footprint the plan reports
+        plan = TilePlan(radius=1, grid_shape=(64, 64), block=(32, 32), warp=(16, 16))
+        assert plan.shared_mem_bytes == 34 * 34 * 2
+
+    def test_3d_grid_rejected(self):
+        with pytest.raises(ValueError):
+            make_tile_plan(1, (8, 8, 8))
+
+    def test_launch_descriptor(self):
+        plan = make_tile_plan(1, (1024, 1024))
+        kl = plan.launch("spider")
+        assert kl.grid == plan.num_blocks
+        assert kl.block.threads == plan.threads_per_block
+
+
+class TestKernelPacking:
+    def test_roundtrip(self, rng):
+        tiles = [rng.standard_normal((16, 8)) for _ in range(3)]
+        packed = pack_kernel_tiles(tiles)
+        back = unpack_kernel_tiles(packed)
+        for t, b in zip(tiles, back):
+            assert np.array_equal(t, b)
+
+    def test_per_lane_contiguous(self, rng):
+        # Figure 8: each thread's 4 elements are adjacent in the buffer
+        tiles = [rng.standard_normal((16, 8))]
+        packed = pack_kernel_tiles(tiles)
+        from repro.sptc import fragments as fr
+
+        regs = fr.distribute_a(tiles[0])
+        for lane in range(32):
+            seg = packed.buffer[lane * 4 : (lane + 1) * 4]
+            assert np.array_equal(seg, regs[lane])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pack_kernel_tiles([])
+
+    def test_wrong_tile_shape_rejected(self, rng):
+        with pytest.raises(ValueError):
+            pack_kernel_tiles([rng.standard_normal((8, 8))])
+
+    def test_packing_reduces_transactions(self):
+        """The Figure-8 claim: packed layout needs (strictly) fewer global
+        transactions than the naive row-major fragment gather."""
+        for tiles in (1, 2, 4):
+            unpacked, packed = kernel_load_audit(tiles)
+            assert packed.transactions < unpacked.transactions
+            assert packed.bytes_moved == unpacked.bytes_moved
+
+    def test_audit_validation(self):
+        with pytest.raises(ValueError):
+            kernel_load_audit(0)
+
+
+class TestMetadataPacking:
+    def test_register_savings(self):
+        plan = plan_metadata_packing(num_mma=4, group_size=2)
+        assert plan.registers_per_thread_naive == 4
+        assert plan.registers_per_thread_packed == 2
+
+    def test_group_clamped_to_num_mma(self):
+        plan = plan_metadata_packing(num_mma=1, group_size=4)
+        assert plan.group_size == 1

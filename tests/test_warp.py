@@ -1,0 +1,74 @@
+"""Tests for the warp execution context."""
+
+import numpy as np
+import pytest
+
+from repro.sptc.warp import Warp, default_b_row_offset
+from repro.sptc import fragments as fr
+
+
+class TestDefaultOffset:
+    def test_matches_fragment_layout(self):
+        for lane in range(32):
+            rows = fr.b_fragment_rows_paper(lane)
+            for i in range(4):
+                assert default_b_row_offset(lane, i) == rows[i]
+
+
+class TestLoadBFragment:
+    def test_identity_load(self, rng):
+        smem = rng.standard_normal((16, 8))
+        warp = Warp()
+        regs, addrs = warp.load_b_fragment(smem, k_base=0, n_base=0)
+        assert np.array_equal(fr.collect_b(regs), smem)
+        assert (addrs >= 0).all()
+
+    def test_out_of_range_reads_zero(self, rng):
+        smem = rng.standard_normal((8, 8))  # shorter than 16 k-rows
+        warp = Warp()
+        regs, addrs = warp.load_b_fragment(smem, k_base=0, n_base=0)
+        tile = fr.collect_b(regs)
+        assert np.array_equal(tile[:8], smem)
+        assert (tile[8:] == 0).all()
+        assert (addrs[regs == 0].reshape(-1) <= addrs.max()).all()
+
+    def test_n_base_offset(self, rng):
+        smem = rng.standard_normal((16, 24))
+        warp = Warp()
+        regs, _ = warp.load_b_fragment(smem, k_base=0, n_base=8)
+        assert np.array_equal(fr.collect_b(regs), smem[:, 8:16])
+
+    def test_custom_offset_fn_permutes(self, rng):
+        smem = rng.standard_normal((16, 8))
+        perm = np.arange(16)
+        perm[[1, 3]] = [3, 1]
+        warp = Warp()
+
+        def fn(lane, i):
+            return int(perm[default_b_row_offset(lane, i)])
+
+        regs, _ = warp.load_b_fragment(smem, k_base=0, n_base=0, row_offset_fn=fn)
+        assert np.array_equal(fr.collect_b(regs), smem[perm])
+
+    def test_instruction_accounting(self, rng):
+        warp = Warp()
+        warp.load_b_fragment(rng.standard_normal((16, 8)), k_base=0, n_base=0)
+        assert warp.stream.count("lds") == 4  # one SIMT issue per element idx
+        assert warp.stream.bytes_moved("lds") == 32 * 4 * 2
+
+
+class TestStoreAcc:
+    def test_store_adds_tile(self, rng):
+        out = np.zeros((16, 8))
+        tile = rng.standard_normal((16, 8))
+        warp = Warp()
+        warp.store_acc_fragment(out, fr.distribute_acc(tile), m_base=0, n_base=0)
+        assert np.allclose(out, tile)
+        assert warp.stream.count("stg") == 4
+
+    def test_partial_tile_clipped(self, rng):
+        out = np.zeros((10, 5))
+        tile = rng.standard_normal((16, 8))
+        warp = Warp()
+        warp.store_acc_fragment(out, fr.distribute_acc(tile), m_base=0, n_base=0)
+        assert np.allclose(out, tile[:10, :5])

@@ -1,0 +1,88 @@
+"""Tests for the paper benchmark workload generators."""
+
+import pytest
+
+from repro.stencil import (
+    PAPER_1D_SIZE,
+    PAPER_2D_SIZE,
+    PAPER_SHAPE_IDS,
+    make_workload,
+    paper_benchmark_suite,
+    paper_size_sweep,
+)
+from repro.stencil.spec import ShapeType
+
+
+class TestSuite:
+    def test_eight_shapes(self):
+        suite = paper_benchmark_suite()
+        assert [wl.spec.benchmark_id for wl in suite] == PAPER_SHAPE_IDS
+
+    def test_paper_sizes(self):
+        for wl in paper_benchmark_suite():
+            if wl.spec.dims == 1:
+                assert wl.grid_shape == PAPER_1D_SIZE
+            else:
+                assert wl.grid_shape == PAPER_2D_SIZE
+
+    def test_kernels_symmetric(self):
+        # suite kernels are symmetric so every baseline (incl. LoRA) runs
+        for wl in paper_benchmark_suite():
+            assert wl.spec.is_symmetric
+
+    def test_star_shapes_masked(self):
+        for wl in paper_benchmark_suite():
+            if "Star" in wl.spec.benchmark_id:
+                assert wl.spec.shape is ShapeType.STAR
+
+
+class TestMakeWorkload:
+    def test_custom_size(self):
+        wl = make_workload("Box-2D2R", (512, 512))
+        assert wl.grid_shape == (512, 512)
+        assert wl.spec.radius == 2
+
+    def test_1d_parse(self):
+        wl = make_workload("1D2R")
+        assert wl.spec.dims == 1 and wl.spec.radius == 2
+
+    def test_label(self):
+        assert make_workload("Box-2D1R", (64, 64)).label == "Box-2D1R@64x64"
+
+    def test_num_points(self):
+        assert make_workload("Box-2D1R", (64, 32)).num_points == 2048
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload("Box-2D1R", (100,))
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload("Hex-2D1R")
+
+    def test_make_grid(self, rng):
+        g = make_workload("Box-2D1R", (16, 16)).make_grid(rng)
+        assert g.shape == (16, 16)
+
+    def test_seed_reproducible(self):
+        a = make_workload("Box-2D3R", seed=3).spec.weights
+        b = make_workload("Box-2D3R", seed=3).spec.weights
+        assert (a == b).all()
+
+
+class TestSizeSweep:
+    def test_2d_sweep_square(self):
+        sweep = paper_size_sweep("Box-2D2R")
+        assert all(wl.grid_shape[0] == wl.grid_shape[1] for wl in sweep)
+        sizes = [wl.grid_shape[0] for wl in sweep]
+        assert sizes == sorted(sizes)
+        assert sizes[0] == 512 and sizes[-1] == 10240
+
+    def test_1d_sweep(self):
+        sweep = paper_size_sweep("1D1R")
+        assert all(len(wl.grid_shape) == 1 for wl in sweep)
+        assert sweep[0].grid_shape[0] == 1024 * 256
+
+    def test_same_spec_across_sweep(self):
+        sweep = paper_size_sweep("Box-2D1R")
+        assert all(wl.spec is sweep[0].spec for wl in sweep)
