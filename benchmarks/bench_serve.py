@@ -1,0 +1,176 @@
+"""Serving-throughput benchmark: batched+plan-cached vs per-request compile.
+
+Drives the same mixed-spec closed-loop request trace through two paths:
+
+* **naive** — the pre-serve deployment model: every request constructs a
+  fresh ``Spider(spec)`` (full AOT compile) and runs its grid alone;
+* **served** — :class:`repro.serve.StencilService` with sharded workers,
+  per-worker plan caches and same-plan batch fusion.
+
+Reports throughput (req/s) and p50/p99 latency for both, as JSON.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --requests 800 --workers 4
+
+or under pytest (asserts the serving layer's speedup and cache hit rate)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -s
+"""
+
+import argparse
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import Spider
+from repro.serve import StencilService
+from repro.stencil.workloads import closed_loop_stream, serving_workloads
+
+#: >= 3 named stencils spanning 1D/2D, star/box, and radii 1..3.
+BENCH_SHAPES = ["heat2d", "blur2d", "wave2d", "Box-2D3R", "wave1d"]
+
+
+def _percentiles(latencies_s):
+    arr = np.asarray(latencies_s) * 1e3
+    return {
+        "p50_ms": float(np.percentile(arr, 50)),
+        "p99_ms": float(np.percentile(arr, 99)),
+        "mean_ms": float(np.mean(arr)),
+    }
+
+
+def run_naive(requests):
+    """Per-request compile baseline: Spider built from scratch every time."""
+    latencies = []
+    t0 = time.perf_counter()
+    for r in requests:
+        s = time.perf_counter()
+        Spider(r.spec).run(r.grid)
+        latencies.append(time.perf_counter() - s)
+    elapsed = time.perf_counter() - t0
+    return {
+        "throughput_rps": len(requests) / elapsed,
+        "elapsed_s": elapsed,
+        **_percentiles(latencies),
+    }
+
+
+def run_served(requests, *, workers, max_batch_size, max_wait_s):
+    """Batched-cached serving path."""
+    with StencilService(
+        workers=workers, max_batch_size=max_batch_size, max_wait_s=max_wait_s
+    ) as svc:
+        t0 = time.perf_counter()
+        handles = svc.submit_many((r.spec, r.grid) for r in requests)
+        svc.drain()
+        elapsed = time.perf_counter() - t0
+        stats = svc.stats()
+    return {
+        "throughput_rps": len(requests) / elapsed,
+        "elapsed_s": elapsed,
+        **_percentiles([h.latency_s for h in handles]),
+        "cache_hit_rate": stats.cache_hit_rate,
+        "mean_batch_occupancy": stats.telemetry.occupancy["mean"],
+        "batches": stats.telemetry.batches,
+        "errors": stats.telemetry.errors,
+    }
+
+
+def bench_serve(
+    n_requests: int = 800,
+    *,
+    workers: int = 4,
+    max_batch_size: int = 24,
+    max_wait_s: float = 0.003,
+    size_2d=(20, 20),
+    size_1d=(768,),
+    seed: int = 2026,
+) -> dict:
+    """Run both paths on one trace and return the comparison document."""
+    workloads = serving_workloads(
+        BENCH_SHAPES, size_2d=size_2d, size_1d=size_1d, seed=seed
+    )
+    requests = list(closed_loop_stream(workloads, n_requests, seed=seed))
+    # warmup both paths (thread pools, allocator, page cache) off the clock
+    warmup = requests[: min(160, len(requests))]
+    run_naive(warmup)
+    run_served(
+        warmup,
+        workers=workers,
+        max_batch_size=max_batch_size,
+        max_wait_s=max_wait_s,
+    )
+    naive = run_naive(requests)
+    served = run_served(
+        requests,
+        workers=workers,
+        max_batch_size=max_batch_size,
+        max_wait_s=max_wait_s,
+    )
+    return {
+        "config": {
+            "requests": n_requests,
+            "shapes": BENCH_SHAPES,
+            "workers": workers,
+            "max_batch_size": max_batch_size,
+            "max_wait_ms": max_wait_s * 1e3,
+            "size_2d": list(size_2d),
+            "size_1d": list(size_1d),
+        },
+        "naive_per_request_compile": naive,
+        "batched_cached": served,
+        "speedup": served["throughput_rps"] / naive["throughput_rps"],
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def serve_result():
+    return bench_serve(800)
+
+
+@pytest.mark.paper_artifact("serving")
+def test_serving_speedup(serve_result, report):
+    report(
+        "Serving: batched+plan-cached vs per-request compile",
+        json.dumps(serve_result, indent=2),
+    )
+    assert serve_result["batched_cached"]["errors"] == 0
+    # target is >= 5x; assert with slack for loaded CI machines
+    assert serve_result["speedup"] >= 3.0, serve_result["speedup"]
+
+
+@pytest.mark.paper_artifact("serving")
+def test_serving_cache_hit_rate(serve_result):
+    assert serve_result["batched_cached"]["cache_hit_rate"] >= 0.75
+    assert serve_result["batched_cached"]["mean_batch_occupancy"] >= 2.0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--requests", type=int, default=800)
+    ap.add_argument("--workers", type=int, default=4)
+    ap.add_argument("--batch", type=int, default=24)
+    ap.add_argument("--wait-ms", type=float, default=3.0)
+    ap.add_argument("--seed", type=int, default=2026)
+    args = ap.parse_args(argv)
+    result = bench_serve(
+        args.requests,
+        workers=args.workers,
+        max_batch_size=args.batch,
+        max_wait_s=args.wait_ms / 1e3,
+        seed=args.seed,
+    )
+    print(json.dumps(result, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,25 +3,40 @@
 Reproduces *SPIDER: Unleashing Sparse Tensor Cores for Stencil Computation
 via Strided Swapping* (PPoPP 2026) in pure Python, including an emulated
 SpTC substrate, an analytical A100 machine model, and every baseline the
-paper evaluates against.
+paper evaluates against — plus a batched, plan-cached serving runtime
+(:mod:`repro.serve`) that amortizes the one-shot pipeline across request
+streams.
 
-Quickstart::
+Quickstart (one-shot)::
 
     from repro import Spider
     from repro.stencil import Grid, named_stencil
 
     spider = Spider(named_stencil("heat2d"))
     out = spider.run(Grid.random((256, 256)))
+
+Quickstart (serving)::
+
+    from repro import StencilService
+    from repro.stencil import Grid, named_stencil
+
+    with StencilService(workers=4) as svc:
+        handle = svc.submit(named_stencil("heat2d"), Grid.random((64, 64)))
+        out = handle.result()
+        print(svc.stats().cache_hit_rate)
 """
 
 from .core import Spider, SpiderVariant
+from .serve import PlanCache, StencilService
 from .stencil import Grid, ShapeType, StencilSpec, named_stencil
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Spider",
     "SpiderVariant",
+    "StencilService",
+    "PlanCache",
     "Grid",
     "ShapeType",
     "StencilSpec",

@@ -1,6 +1,11 @@
 """Analysis layer: Table-1 cost closed forms, redundancy factors, the
-calibrated performance model, and table/figure series generators."""
+calibrated performance model, and table/figure series generators.
 
+Serving telemetry (:mod:`repro.serve.telemetry`) is re-exported here so
+reporting pipelines can render :class:`ServiceStats` blocks alongside the
+paper tables."""
+
+from ..serve.telemetry import ServiceStats, format_service_report
 from .costs import (
     convstencil_cost,
     cost_for_spec,
@@ -105,4 +110,6 @@ __all__ = [
     "format_table3",
     "table2_rows",
     "table3_rows",
+    "ServiceStats",
+    "format_service_report",
 ]

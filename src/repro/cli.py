@@ -10,6 +10,7 @@ Usage::
     python -m repro sensitivity
     python -m repro precision
     python -m repro verify --shape Star-2D3R --size 48x64
+    python -m repro serve-bench --requests 1000 --workers 4
 """
 
 from __future__ import annotations
@@ -19,6 +20,8 @@ import sys
 from typing import List, Optional
 
 import numpy as np
+
+from . import __version__
 
 __all__ = ["main"]
 
@@ -104,11 +107,77 @@ def _cmd_verify(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    """Drive a request stream through :class:`repro.serve.StencilService`."""
+    import json
+    import time
+
+    from .serve import StencilService, format_service_report
+    from .stencil.workloads import (
+        closed_loop_stream,
+        open_loop_stream,
+        serving_workloads,
+    )
+
+    shapes = None
+    if args.shapes:
+        shapes = [s.strip() for s in args.shapes.split(",") if s.strip()]
+    size = _parse_size(args.size) if args.size else (48, 48)
+    workloads = serving_workloads(shapes, size_2d=size, seed=args.seed)
+    if args.rate > 0:
+        stream = open_loop_stream(
+            workloads, args.requests, args.rate, seed=args.seed
+        )
+    else:
+        stream = closed_loop_stream(workloads, args.requests, seed=args.seed)
+    requests = list(stream)
+
+    with StencilService(
+        workers=args.workers,
+        max_batch_size=args.batch,
+        max_wait_s=args.wait_ms / 1e3,
+    ) as svc:
+        start = time.perf_counter()
+        for r in requests:
+            if r.arrival_s > 0:
+                now = time.perf_counter() - start
+                if r.arrival_s > now:
+                    time.sleep(r.arrival_s - now)
+            svc.submit(r.spec, r.grid)
+        svc.drain()
+        elapsed = time.perf_counter() - start
+        stats = svc.stats()
+
+    throughput = len(requests) / elapsed
+    print(format_service_report(stats))
+    print(f"{'throughput':<22} {throughput:.1f} req/s over {elapsed:.3f}s")
+    if args.json:
+        t = stats.telemetry
+        print(
+            json.dumps(
+                {
+                    "requests": t.requests,
+                    "workers": stats.workers,
+                    "throughput_rps": throughput,
+                    "latency_ms": t.latency_ms,
+                    "batch_occupancy": t.occupancy,
+                    "cache_hit_rate": stats.cache_hit_rate,
+                    "errors": t.errors,
+                },
+                indent=2,
+            )
+        )
+    return 0 if stats.telemetry.errors == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SPIDER reproduction: regenerate paper tables/figures",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -141,6 +210,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", default=None, help="e.g. 48x64")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="drive a request stream through the serving runtime",
+    )
+    p.add_argument("--requests", type=int, default=1000)
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--batch", type=int, default=8, help="max batch size")
+    p.add_argument(
+        "--wait-ms", type=float, default=2.0, help="batching deadline (ms)"
+    )
+    p.add_argument(
+        "--shapes",
+        default=None,
+        help="comma list of named stencils or paper ids (default mix)",
+    )
+    p.add_argument("--size", default=None, help="2D grid size, e.g. 48x48")
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="open-loop arrival rate in req/s (0 = closed-loop burst)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--json", action="store_true", help="also emit a JSON summary"
+    )
+    p.set_defaults(fn=_cmd_serve_bench)
     return parser
 
 

@@ -19,7 +19,14 @@ from .packing import (
     plan_metadata_packing,
     unpack_kernel_tiles,
 )
-from .pipeline import CompileReport, Spider, SpiderVariant
+from .pipeline import (
+    CompilePlan,
+    CompileReport,
+    Spider,
+    SpiderVariant,
+    build_compile_plan,
+    build_compile_report,
+)
 from .row_swap import (
     RowSwapStrategy,
     baseline_offset_expr,
@@ -59,9 +66,12 @@ __all__ = [
     "pack_kernel_tiles",
     "plan_metadata_packing",
     "unpack_kernel_tiles",
+    "CompilePlan",
     "CompileReport",
     "Spider",
     "SpiderVariant",
+    "build_compile_plan",
+    "build_compile_report",
     "RowSwapStrategy",
     "baseline_offset_expr",
     "baseline_row_offset_fn",

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
@@ -123,49 +123,86 @@ class SpiderExecutor:
     # Fast path
     # ------------------------------------------------------------------
     def run(self, grid: Grid) -> np.ndarray:
-        """One stencil sweep; returns the updated interior."""
-        if grid.dims != self.spec.dims:
-            raise ValueError(
-                f"{self.spec.dims}D executor got a {grid.dims}D grid"
-            )
-        data2d, lead_shape, n = self._as_lines(grid)
-        out2d = np.zeros_like(data2d)
-        padded = self._pad_lines(grid)
+        """One stencil sweep; returns the updated interior.
+
+        A batch-of-one :meth:`run_batch` (the fused pipeline is the single
+        implementation; batching a lone grid is bit-neutral).
+        """
+        return self.run_batch([grid])[0]
+
+    def run_batch(self, grids: Sequence[Grid]) -> np.ndarray:
+        """Fused sweep over a batch of same-shape grids.
+
+        The grids are stacked along a leading batch axis *after* per-grid
+        halo padding (so boundary conditions never couple across requests),
+        and every kernel row's ``K @ X`` then spans the whole batch: one
+        SpTC GEMM amortizes over all requests instead of one per grid.
+        This is the serving layer's fusion primitive.
+
+        Returns an array of shape ``(len(grids), *grid_shape)`` whose slice
+        ``b`` is bit-identical to ``self.run(grids[b])`` — each X column
+        holds one output chunk of one grid, and the select-then-MAC
+        reduction is evaluated per column in a fixed order, so batching
+        never perturbs the numerics.
+        """
+        grids = list(grids)
+        if not grids:
+            raise ValueError("run_batch needs at least one grid")
+        shape = grids[0].shape
+        for g in grids:
+            if g.dims != self.spec.dims:
+                raise ValueError(
+                    f"{self.spec.dims}D executor got a {g.dims}D grid"
+                )
+            if g.shape != shape:
+                raise ValueError(
+                    f"all grids in a batch must share one shape; got "
+                    f"{g.shape} vs {shape}"
+                )
+        B = len(grids)
         r = self.spec.radius
+        n = shape[-1]
+        lead_shape = shape[:-1]
         L, W = self.L, self.width
         chunks = math.ceil(n / L)
         npad = chunks * L
 
-        # right-pad the line direction so every chunk's window exists
+        stacked = np.stack([self._pad_lines(g) for g in grids])
         need = npad - L + W
-        extra = need - padded.shape[-1]
+        extra = need - stacked.shape[-1]
         if extra > 0:
-            pad_spec = [(0, 0)] * (padded.ndim - 1) + [(0, extra)]
-            padded = np.pad(padded, pad_spec)
+            pad_spec = [(0, 0)] * (stacked.ndim - 1) + [(0, extra)]
+            stacked = np.pad(stacked, pad_spec)
+        lines_view = stacked.reshape(-1, stacked.shape[-1])
 
-        n_lines = int(np.prod(lead_shape)) if lead_shape else 1
-        lines_view = padded.reshape(-1, padded.shape[-1])
+        # the batch axis joins the leading geometry, unpadded (offset 0)
+        full_lead = (B,) + lead_shape
+        pad_lead = (B,) + tuple(s + 2 * r for s in lead_shape)
+        n_lines = B * (int(np.prod(lead_shape)) if lead_shape else 1)
+        out2d = np.zeros((n_lines, n), dtype=np.float64)
 
         for q in range(self._rows.shape[0]):
             enc = self._encoded[q]
-            lead_off = self._lead_offsets(q)
+            lead_off = (0,) + self._lead_offsets(q)
             for l0 in range(0, n_lines, self.batch_rows):
                 l1 = min(l0 + self.batch_rows, n_lines)
-                src = self._gather_source_lines(
-                    lines_view, lead_shape, lead_off, l0, l1
+                src = self._gather_lines(
+                    lines_view, full_lead, pad_lead, lead_off, l0, l1
                 )
-                # X[j, (line, c)] = src[line, c*L + j]
                 windows = sliding_window_view(src, W, axis=1)[:, ::L, :]
                 windows = windows[:, :chunks, :]
                 x = windows.transpose(2, 0, 1).reshape(W, -1)
-                y = self._gemm(enc, x)  # (L, lines*chunks)
+                y = self._gemm(enc, x)
                 y = (
                     y.reshape(L, l1 - l0, chunks)
                     .transpose(1, 2, 0)
                     .reshape(l1 - l0, npad)[:, :n]
                 )
                 out2d[l0:l1] += y
-        return out2d.reshape(grid.shape) if self.precision == MmaPrecision.EXACT else out2d.reshape(grid.shape).astype(np.float32)
+        out = out2d.reshape((B,) + shape)
+        if self.precision != MmaPrecision.EXACT:
+            out = out.astype(np.float32)
+        return out
 
     # -- helpers --------------------------------------------------------
     def _as_lines(self, grid: Grid) -> Tuple[np.ndarray, Tuple[int, ...], int]:
@@ -203,6 +240,21 @@ class SpiderExecutor:
         # padded leading geometry
         r = self.spec.radius
         pad_lead = tuple(s + 2 * r for s in lead_shape)
+        return self._gather_lines(
+            lines_view, lead_shape, pad_lead, lead_off, l0, l1
+        )
+
+    def _gather_lines(
+        self,
+        lines_view: np.ndarray,
+        lead_shape: Tuple[int, ...],
+        pad_lead: Tuple[int, ...],
+        lead_off: Tuple[int, ...],
+        l0: int,
+        l1: int,
+    ) -> np.ndarray:
+        """Generalized line gather with explicit padded leading geometry
+        (lets :meth:`run_batch` prepend an unpadded batch axis)."""
         idx = np.arange(l0, l1)
         coords = np.unravel_index(idx, lead_shape)
         flat = np.zeros_like(idx)

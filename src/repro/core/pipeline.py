@@ -40,7 +40,14 @@ from .packing import kernel_load_audit, plan_metadata_packing
 from .row_swap import RowSwapStrategy, strategy_for
 from .tiling import TilePlan, make_tile_plan
 
-__all__ = ["Spider", "SpiderVariant", "CompileReport"]
+__all__ = [
+    "Spider",
+    "SpiderVariant",
+    "CompileReport",
+    "CompilePlan",
+    "build_compile_plan",
+    "build_compile_report",
+]
 
 
 class SpiderVariant(enum.Enum):
@@ -69,6 +76,88 @@ class CompileReport:
     metadata_registers_packed: int
 
 
+def build_compile_report(
+    spec: StencilSpec, encoded: List[EncodedKernelRow]
+) -> CompileReport:
+    """Summarize AOT transformation artifacts for one compiled stencil."""
+    enc = encoded[0]
+    width = enc.width
+    num_k_tiles = width // 16
+    unpacked, packed = kernel_load_audit(num_k_tiles)
+    meta_plan = plan_metadata_packing(num_k_tiles)
+    return CompileReport(
+        L=enc.L,
+        width=width,
+        sparsity=kernel_matrix_sparsity(spec.radius),
+        num_kernel_rows=len(encoded),
+        parameter_elements=sum(e.parameter_elements() for e in encoded),
+        metadata_words=sum(len(e.metadata_words) for e in encoded),
+        row_swap_strategy=strategy_for(spec.radius),
+        packed_kernel_transactions=packed.transactions,
+        unpacked_kernel_transactions=unpacked.transactions,
+        metadata_registers_naive=meta_plan.registers_per_thread_naive,
+        metadata_registers_packed=meta_plan.registers_per_thread_packed,
+    )
+
+
+@dataclass
+class CompilePlan:
+    """Everything AOT compilation produces for one stencil configuration.
+
+    A plan is the unit the serving layer caches and shares: the compiled
+    :class:`SpiderExecutor` (encoded kernel rows, permutation, metadata),
+    the :class:`CompileReport`, and — when built for a concrete grid shape —
+    the :class:`TilePlan`.  Compilation is O(1) in the problem size (§4.2),
+    so one plan amortizes across arbitrarily many requests.
+    """
+
+    spec: StencilSpec
+    precision: str
+    variant: SpiderVariant
+    device: DeviceSpec
+    executor: SpiderExecutor
+    report: Optional[CompileReport] = None
+    tile_plan: Optional[TilePlan] = None
+
+    def compile_report(self) -> CompileReport:
+        """The plan's :class:`CompileReport`, built lazily (the audit is
+        several times the cost of compilation itself) and memoized."""
+        if self.report is None:
+            self.report = build_compile_report(self.spec, self.executor._encoded)
+        return self.report
+
+
+def build_compile_plan(
+    spec: StencilSpec,
+    precision: str = MmaPrecision.EXACT,
+    variant: SpiderVariant = SpiderVariant.SPTC_CO,
+    device: DeviceSpec = A100_80GB_PCIE,
+    grid_shape: Optional[Tuple[int, ...]] = None,
+) -> CompilePlan:
+    """Run the whole AOT pipeline once and bundle the artifacts.
+
+    This is the factory both :class:`Spider` and the serving layer's plan
+    cache go through, so a cached plan is byte-for-byte the same object a
+    fresh ``Spider(spec)`` would have built.  ``grid_shape`` additionally
+    binds a tile plan (1D/2D grids only; 3D executors tile per-request).
+    """
+    precision = MmaPrecision.validate(precision)
+    executor = SpiderExecutor(
+        spec, precision, use_sptc=variant is not SpiderVariant.TC
+    )
+    tile_plan: Optional[TilePlan] = None
+    if grid_shape is not None and len(grid_shape) <= 2:
+        tile_plan = make_tile_plan(spec.radius, tuple(grid_shape), device)
+    return CompilePlan(
+        spec=spec,
+        precision=precision,
+        variant=variant,
+        device=device,
+        executor=executor,
+        tile_plan=tile_plan,
+    )
+
+
 class Spider:
     """SPIDER stencil accelerator (paper's primary contribution).
 
@@ -83,6 +172,11 @@ class Spider:
     device:
         Machine model used for cost estimation (defaults to the paper's
         A100-80GB PCIe).
+    plan:
+        Optional pre-built :class:`CompilePlan` (e.g. from the serving
+        layer's plan cache); when given, AOT compilation is skipped and the
+        plan's executor/report are reused.  Must match ``spec``,
+        ``precision`` and ``variant``.
     """
 
     def __init__(
@@ -91,17 +185,44 @@ class Spider:
         precision: str = MmaPrecision.EXACT,
         variant: SpiderVariant = SpiderVariant.SPTC_CO,
         device: DeviceSpec = A100_80GB_PCIE,
+        plan: Optional[CompilePlan] = None,
     ) -> None:
         self.spec = spec
         self.precision = MmaPrecision.validate(precision)
         self.variant = variant
         self.device = device
-        self._executor = SpiderExecutor(
-            spec,
-            precision,
-            use_sptc=variant is not SpiderVariant.TC,
+        if plan is None:
+            plan = build_compile_plan(spec, self.precision, variant, device)
+        else:
+            if plan.spec is not spec and not (
+                plan.spec.shape is spec.shape
+                and plan.spec.dims == spec.dims
+                and plan.spec.radius == spec.radius
+                and np.array_equal(plan.spec.weights, spec.weights)
+            ):
+                raise ValueError("plan was compiled for a different spec")
+            if plan.precision != self.precision:
+                raise ValueError(
+                    f"plan precision {plan.precision!r} != {self.precision!r}"
+                )
+            if plan.variant is not variant:
+                raise ValueError(
+                    f"plan variant {plan.variant} != {variant}"
+                )
+        self._plan = plan
+        self._executor = plan.executor
+        self._report: Optional[CompileReport] = plan.report
+
+    @classmethod
+    def from_plan(cls, plan: CompilePlan) -> "Spider":
+        """Wrap a cached :class:`CompilePlan` without recompiling."""
+        return cls(
+            plan.spec, plan.precision, plan.variant, plan.device, plan=plan
         )
-        self._report: Optional[CompileReport] = None
+
+    @property
+    def plan(self) -> CompilePlan:
+        return self._plan
 
     # ------------------------------------------------------------------
     @property
@@ -115,28 +236,7 @@ class Spider:
     def compile_report(self) -> CompileReport:
         """Summarize the AOT transformation artifacts."""
         if self._report is None:
-            enc = self.encoded_rows[0]
-            width = enc.width
-            num_k_tiles = width // 16
-            unpacked, packed = kernel_load_audit(num_k_tiles)
-            meta_plan = plan_metadata_packing(num_k_tiles)
-            self._report = CompileReport(
-                L=enc.L,
-                width=width,
-                sparsity=kernel_matrix_sparsity(self.spec.radius),
-                num_kernel_rows=len(self.encoded_rows),
-                parameter_elements=sum(
-                    e.parameter_elements() for e in self.encoded_rows
-                ),
-                metadata_words=sum(
-                    len(e.metadata_words) for e in self.encoded_rows
-                ),
-                row_swap_strategy=strategy_for(self.spec.radius),
-                packed_kernel_transactions=packed.transactions,
-                unpacked_kernel_transactions=unpacked.transactions,
-                metadata_registers_naive=meta_plan.registers_per_thread_naive,
-                metadata_registers_packed=meta_plan.registers_per_thread_packed,
-            )
+            self._report = self._plan.compile_report()
         return self._report
 
     # ------------------------------------------------------------------

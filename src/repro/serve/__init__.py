@@ -1,0 +1,52 @@
+"""`repro.serve` — batched, plan-cached stencil-serving runtime.
+
+The offline pipeline compiles a stencil once and runs one grid; this
+subsystem amortizes that compilation across a request stream (SPIDER's
+preparation cost is O(1) in problem size, §4.2) and fuses same-plan
+requests into batched SpTC passes:
+
+* :mod:`plan_cache` — LRU cache of AOT compile plans, keyed on
+  ``(spec fingerprint, variant, precision, tile plan)``;
+* :mod:`batching` — request futures and the same-plan coalescing queue;
+* :mod:`workers` — sharded worker loops with spec-affinity routing;
+* :mod:`service` — the :class:`StencilService` façade
+  (``submit / submit_many / stats / drain``) with a synchronous fallback;
+* :mod:`telemetry` — latency / occupancy / cache-hit histograms feeding
+  :mod:`repro.analysis`-style reports.
+"""
+
+from .batching import BatchQueue, ServeRequest
+from .plan_cache import (
+    CacheStats,
+    PlanCache,
+    PlanKey,
+    plan_key_for,
+    spec_fingerprint,
+)
+from .service import StencilService
+from .telemetry import (
+    Histogram,
+    ServiceStats,
+    ServiceTelemetry,
+    TelemetrySnapshot,
+    format_service_report,
+)
+from .workers import ServeWorker, WorkerPool
+
+__all__ = [
+    "BatchQueue",
+    "ServeRequest",
+    "CacheStats",
+    "PlanCache",
+    "PlanKey",
+    "plan_key_for",
+    "spec_fingerprint",
+    "StencilService",
+    "Histogram",
+    "ServiceStats",
+    "ServiceTelemetry",
+    "TelemetrySnapshot",
+    "format_service_report",
+    "ServeWorker",
+    "WorkerPool",
+]

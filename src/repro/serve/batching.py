@@ -1,0 +1,230 @@
+"""Request handles and the same-plan coalescing batch queue.
+
+The serving runtime's second throughput lever (after plan caching) is
+*batch fusion*: requests that resolve to the same compile plan and grid
+shape can be stacked along a batch axis and pushed through one fused
+:meth:`~repro.core.executor.SpiderExecutor.run_batch` pass, amortizing the
+per-sweep Python and GEMM-launch overhead across the whole batch — the same
+phase-amortization idea as the SUMMA compute model's overlapped pipeline
+(SNIPPETS.md).
+
+:class:`BatchQueue` implements the classic coalescing policy: a batch is
+released as soon as ``max_batch_size`` same-key requests are pending, or
+when the oldest pending request has waited ``max_wait_s`` (the deadline
+bounds added latency under light load).  Requests with *different* keys
+never share a batch.  Keys are served oldest-pending-head first — an
+overdue cold key always beats a hot key's next full batch, so sustained
+hot traffic delays a cold request by at most one coalescing window plus
+one batch service time — but while the oldest head is still inside its
+window, any key that already has a full batch releases immediately.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Callable, Deque, List, Optional
+
+import numpy as np
+
+from ..stencil.grid import Grid
+from ..stencil.spec import StencilSpec
+from .plan_cache import PlanKey
+
+__all__ = ["BatchQueue", "ServeRequest"]
+
+
+class ServeRequest:
+    """One in-flight request: queue item and caller-facing future in one.
+
+    Created by :meth:`StencilService.submit`; callers block on
+    :meth:`result` (or poll :meth:`done`) and the owning worker resolves or
+    fails it exactly once.
+    """
+
+    def __init__(
+        self,
+        req_id: int,
+        spec: StencilSpec,
+        grid: Grid,
+        key: PlanKey,
+        submitted_s: float,
+    ) -> None:
+        self.req_id = req_id
+        self.spec = spec
+        self.grid = grid
+        self.key = key
+        self.submitted_s = submitted_s
+        self.started_s: Optional[float] = None
+        self.finished_s: Optional[float] = None
+        self.batch_size: Optional[int] = None
+        self._event = threading.Event()
+        self._result: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+
+    # -- worker side ----------------------------------------------------
+    def _resolve(
+        self,
+        value: np.ndarray,
+        *,
+        batch_size: int,
+        started_s: float,
+        finished_s: float,
+    ) -> None:
+        self._result = value
+        self.batch_size = batch_size
+        self.started_s = started_s
+        self.finished_s = finished_s
+        self._event.set()
+
+    def _fail(self, exc: BaseException, *, started_s: float, finished_s: float) -> None:
+        self._error = exc
+        self.started_s = started_s
+        self.finished_s = finished_s
+        self._event.set()
+
+    # -- caller side ----------------------------------------------------
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def failed(self) -> bool:
+        return self._event.is_set() and self._error is not None
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._event.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        """Block until served; returns the output grid or re-raises the
+        worker-side exception."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.req_id} not served within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """Submit-to-resolve latency (None while in flight)."""
+        if self.finished_s is None:
+            return None
+        return self.finished_s - self.submitted_s
+
+    @property
+    def queue_wait_s(self) -> Optional[float]:
+        """Time spent queued before its batch started executing."""
+        if self.started_s is None:
+            return None
+        return self.started_s - self.submitted_s
+
+
+class BatchQueue:
+    """Single-consumer queue that coalesces same-plan requests.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Hard cap on fused batch occupancy.
+    max_wait_s:
+        How long the oldest pending request may wait for co-batchable
+        arrivals before its (possibly singleton) batch is released.
+    clock:
+        Monotonic time source (injectable for tests).
+
+    Exactly one worker may consume from a queue: :meth:`get_batch` leaves
+    pending requests visible while it waits out the coalescing deadline.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_batch_size: int = 8,
+        max_wait_s: float = 0.002,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_s)
+        self._clock = clock
+        # per-key FIFOs, ordered by each key's first pending arrival, so a
+        # put and a batch extraction are O(1)/O(batch) instead of scanning
+        # every pending request on every wakeup
+        self._by_key: "OrderedDict[PlanKey, Deque[ServeRequest]]" = OrderedDict()
+        self._pending_count = 0
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._cond:
+            return self._pending_count
+
+    def put(self, req: ServeRequest) -> None:
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed BatchQueue")
+            fifo = self._by_key.get(req.key)
+            if fifo is None:
+                fifo = deque()
+                self._by_key[req.key] = fifo
+            fifo.append(req)
+            self._pending_count += 1
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Stop accepting requests; wakes the consumer so it can drain."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def get_batch(self) -> Optional[List[ServeRequest]]:
+        """Next coalesced batch, or None once closed and drained.
+
+        Blocks until at least one request is pending, then waits up to the
+        head request's deadline for more requests with the *same* plan key,
+        releasing early when ``max_batch_size`` is reached.
+        """
+        with self._cond:
+            while not self._pending_count:
+                if self._closed:
+                    return None
+                self._cond.wait()
+            while True:
+                # priority 1: the oldest pending head, once its coalescing
+                # window has expired (or on close/full) — this bounds how
+                # long a cold key can be delayed by hot traffic
+                key, fifo = min(
+                    self._by_key.items(), key=lambda kv: kv[1][0].submitted_s
+                )
+                if self._closed or len(fifo) >= self.max_batch_size:
+                    break
+                remaining = fifo[0].submitted_s + self.max_wait_s - self._clock()
+                if remaining <= 0:
+                    break
+                # priority 2: while the oldest head is still inside its
+                # window, a different key that already has a full batch
+                # releases immediately instead of idling the worker
+                full = [
+                    kv
+                    for kv in self._by_key.items()
+                    if len(kv[1]) >= self.max_batch_size
+                ]
+                if full:
+                    key, fifo = min(
+                        full, key=lambda kv: kv[1][0].submitted_s
+                    )
+                    break
+                self._cond.wait(remaining)
+            batch = []
+            while fifo and len(batch) < self.max_batch_size:
+                batch.append(fifo.popleft())
+            if not fifo:
+                del self._by_key[key]
+            self._pending_count -= len(batch)
+            return batch

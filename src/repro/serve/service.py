@@ -1,0 +1,263 @@
+"""`StencilService` — the serving façade.
+
+Turns the one-shot ``Spider(spec).run(grid)`` pipeline into a runtime that
+serves a request stream: plan-cached AOT compilation (compile once per
+distinct stencil configuration), same-plan batch fusion, and N sharded
+workers with spec-affinity routing.
+
+>>> from repro import StencilService
+>>> from repro.stencil import Grid, named_stencil
+>>> with StencilService(workers=4) as svc:
+...     handle = svc.submit(named_stencil("heat2d"), Grid.random((64, 64)))
+...     out = handle.result()
+...     svc.stats().cache_hit_rate
+...
+
+``workers=0`` selects the synchronous fallback path: ``submit`` executes
+inline on the caller thread (still through the plan cache), which is the
+right mode for single-tenant scripts and makes the service trivially
+correct to embed anywhere threads are unwelcome.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Deque, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.pipeline import SpiderVariant
+from ..gpu.device import A100_80GB_PCIE, DeviceSpec
+from ..sptc.mma import MmaPrecision
+from ..stencil.grid import Grid
+from ..stencil.spec import StencilSpec
+from .batching import ServeRequest
+from .plan_cache import CacheStats, PlanCache, plan_key_for
+from .telemetry import ServiceStats, ServiceTelemetry, format_service_report
+from .workers import WorkerPool
+
+__all__ = ["StencilService"]
+
+
+class StencilService:
+    """Batched, plan-cached stencil-serving runtime.
+
+    Parameters
+    ----------
+    workers:
+        Number of sharded worker threads; ``0`` selects the synchronous
+        fallback path (inline execution, no threads).
+    max_batch_size:
+        Cap on how many same-plan requests fuse into one executor pass.
+    max_wait_s:
+        Batching deadline: how long a pending request may wait for
+        co-batchable arrivals (bounds added latency under light load).
+    cache_capacity:
+        Per-worker plan-cache capacity (LRU).
+    precision / variant / device:
+        Forwarded to compilation, same semantics as :class:`repro.Spider`.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 4,
+        max_batch_size: int = 8,
+        max_wait_s: float = 0.002,
+        cache_capacity: int = 64,
+        precision: str = MmaPrecision.EXACT,
+        variant: SpiderVariant = SpiderVariant.SPTC_CO,
+        device: DeviceSpec = A100_80GB_PCIE,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.precision = MmaPrecision.validate(precision)
+        self.variant = variant
+        self.device = device
+        self._telemetry = ServiceTelemetry()
+        self._clock = time.monotonic
+        self._ids = itertools.count()
+        self._lock = threading.Lock()
+        self._inflight: Deque[ServeRequest] = deque()
+        self._ops_since_sweep = 0
+        self._submitted = 0
+        self._closed = False
+        self._pool: Optional[WorkerPool] = None
+        self._sync_cache: Optional[PlanCache] = None
+        if workers > 0:
+            self._pool = WorkerPool(
+                workers,
+                max_batch_size=max_batch_size,
+                max_wait_s=max_wait_s,
+                cache_capacity=cache_capacity,
+                device=device,
+                telemetry=self._telemetry,
+            )
+        else:
+            self._sync_cache = PlanCache(
+                capacity=cache_capacity, device=device
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        return self._pool.num_workers if self._pool else 0
+
+    # ------------------------------------------------------------------
+    def submit(
+        self, spec: StencilSpec, grid: Union[Grid, np.ndarray]
+    ) -> ServeRequest:
+        """Enqueue one sweep; returns a future-like :class:`ServeRequest`."""
+        if not isinstance(grid, Grid):
+            grid = Grid(np.asarray(grid))
+        key = plan_key_for(spec, self.variant, self.precision, grid.shape)
+        req = ServeRequest(
+            req_id=next(self._ids),
+            spec=spec,
+            grid=grid,
+            key=key,
+            submitted_s=self._clock(),
+        )
+        with self._lock:
+            # closed-check and enqueue share the lock so a concurrent
+            # close() cannot slip between them
+            if self._closed:
+                raise RuntimeError(
+                    "cannot submit to a closed StencilService"
+                )
+            self._submitted += 1
+            self._prune_inflight_locked()
+            self._inflight.append(req)
+        if self._pool is not None:
+            try:
+                self._pool.submit(req)
+            except RuntimeError as exc:
+                # queue closed under us (close() raced the enqueue): fail
+                # the request so no waiter hangs on it
+                now = self._clock()
+                req._fail(exc, started_s=now, finished_s=now)
+                self._telemetry.record_error([req])
+                raise
+        else:
+            self._run_sync(req)
+        return req
+
+    def _prune_inflight_locked(self) -> None:
+        """Drop completed requests from the in-flight deque so a long-lived
+        service does not retain every grid/result it ever served (callers
+        must hold ``self._lock``).
+
+        Head pops are O(1) and cover the common in-order completion case; a
+        full sweep runs periodically so one slow head request cannot pin
+        the results of everything completed behind it.
+        """
+        while self._inflight and self._inflight[0].done():
+            self._inflight.popleft()
+        self._ops_since_sweep += 1
+        if self._ops_since_sweep >= 256 and len(self._inflight) >= 256:
+            self._inflight = deque(
+                r for r in self._inflight if not r.done()
+            )
+            self._ops_since_sweep = 0
+
+    def submit_many(
+        self, items: Iterable[Tuple[StencilSpec, Union[Grid, np.ndarray]]]
+    ) -> List[ServeRequest]:
+        """Enqueue a burst of ``(spec, grid)`` pairs."""
+        return [self.submit(spec, grid) for spec, grid in items]
+
+    def run(
+        self,
+        spec: StencilSpec,
+        grid: Union[Grid, np.ndarray],
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        """Submit and block for the result (convenience)."""
+        return self.submit(spec, grid).result(timeout)
+
+    def _run_sync(self, req: ServeRequest) -> None:
+        """Synchronous fallback: the caller thread is the worker."""
+        assert self._sync_cache is not None
+        started = self._clock()
+        try:
+            plan = self._sync_cache.get_or_build(req.key, spec=req.spec)
+            out = plan.executor.run(req.grid)
+        except Exception as exc:
+            finished = self._clock()
+            req._fail(exc, started_s=started, finished_s=finished)
+            self._telemetry.record_error([req])
+            return
+        finished = self._clock()
+        req._resolve(
+            out, batch_size=1, started_s=started, finished_s=finished
+        )
+        self._telemetry.record_batch([req], started, finished)
+
+    # ------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every submitted request has been served.
+
+        Raises :class:`TimeoutError` if the deadline passes first (requests
+        keep their in-flight status; drain can be retried).
+        """
+        deadline = None if timeout is None else self._clock() + timeout
+        while True:
+            with self._lock:
+                self._prune_inflight_locked()
+                head = self._inflight[0] if self._inflight else None
+            if head is None:
+                return
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    raise TimeoutError("drain timed out")
+            head.wait(remaining)
+
+    def stats(self) -> ServiceStats:
+        """Aggregate telemetry + plan-cache counters across all shards."""
+        if self._pool is not None:
+            per_worker = tuple(self._pool.cache_stats())
+        else:
+            assert self._sync_cache is not None
+            per_worker = (self._sync_cache.stats(),)
+        with self._lock:
+            self._prune_inflight_locked()
+            submitted = self._submitted
+            inflight = sum(1 for r in self._inflight if not r.done())
+        return ServiceStats(
+            workers=self.workers,
+            submitted=submitted,
+            inflight=inflight,
+            telemetry=self._telemetry.snapshot(),
+            cache=CacheStats.aggregate(per_worker),
+            per_worker_cache=per_worker,
+        )
+
+    def format_report(self) -> str:
+        """Human-readable stats block (see :func:`format_service_report`)."""
+        return format_service_report(self.stats())
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting requests and shut the workers down (idempotent).
+
+        Pending requests are drained before the worker threads exit.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self._pool is not None:
+            self._pool.close(join=True)
+
+    def __enter__(self) -> "StencilService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.drain()
+        self.close()

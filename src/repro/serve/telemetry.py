@@ -1,0 +1,189 @@
+"""Serving telemetry: latency / occupancy / cache-effectiveness histograms.
+
+Every batch a worker (or the synchronous fallback path) executes is
+recorded here; :meth:`ServiceTelemetry.snapshot` plus the per-worker
+:class:`~repro.serve.plan_cache.CacheStats` roll up into a
+:class:`ServiceStats`, which :func:`format_service_report` renders in the
+same fixed-width report style as the :mod:`repro.analysis` table
+generators (and is re-exported there for reporting pipelines).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .plan_cache import CacheStats
+
+__all__ = [
+    "Histogram",
+    "ServiceStats",
+    "ServiceTelemetry",
+    "TelemetrySnapshot",
+    "format_service_report",
+]
+
+
+class Histogram:
+    """Exact-sample histogram with percentile queries.
+
+    Serving benches run at most a few hundred thousand requests, so keeping
+    raw samples (8 bytes each) is cheaper than the bookkeeping of a sketch
+    and keeps p50/p99 exact.
+    """
+
+    def __init__(self) -> None:
+        self._values: List[float] = []
+
+    def record(self, value: float) -> None:
+        self._values.append(float(value))
+
+    def extend(self, values: Sequence[float]) -> None:
+        self._values.extend(float(v) for v in values)
+
+    def merge(self, other: "Histogram") -> None:
+        self._values.extend(other._values)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self._values)) if self._values else 0.0
+
+    @property
+    def max(self) -> float:
+        return float(np.max(self._values)) if self._values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, p in [0, 100]."""
+        if not self._values:
+            return 0.0
+        return float(np.percentile(self._values, p))
+
+    def summary(self, scale: float = 1.0) -> Dict[str, float]:
+        """``{count, mean, p50, p90, p99, max}`` with values * ``scale``."""
+        if not self._values:
+            return {k: 0.0 for k in ("count", "mean", "p50", "p90", "p99", "max")}
+        p50, p90, p99 = np.percentile(self._values, [50, 90, 99])
+        return {
+            "count": float(self.count),
+            "mean": self.mean * scale,
+            "p50": float(p50) * scale,
+            "p90": float(p90) * scale,
+            "p99": float(p99) * scale,
+            "max": self.max * scale,
+        }
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """Immutable copy of the counters at one instant (all times in ms)."""
+
+    requests: int
+    batches: int
+    errors: int
+    occupancy: Dict[str, float]
+    latency_ms: Dict[str, float]
+    queue_wait_ms: Dict[str, float]
+    service_ms: Dict[str, float]
+
+    @property
+    def mean_occupancy(self) -> float:
+        return self.occupancy["mean"]
+
+
+class ServiceTelemetry:
+    """Thread-safe accumulator the workers and sync path record into."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._batches = 0
+        self._errors = 0
+        self._latency_s = Histogram()
+        self._queue_wait_s = Histogram()
+        self._occupancy = Histogram()
+        self._service_s = Histogram()
+
+    def record_batch(
+        self, requests: Sequence, started_s: float, finished_s: float
+    ) -> None:
+        """Account one executed batch of resolved :class:`ServeRequest`s."""
+        with self._lock:
+            self._batches += 1
+            self._requests += len(requests)
+            self._occupancy.record(len(requests))
+            self._service_s.record(finished_s - started_s)
+            for r in requests:
+                self._latency_s.record(finished_s - r.submitted_s)
+                self._queue_wait_s.record(started_s - r.submitted_s)
+
+    def record_error(self, requests: Sequence) -> None:
+        with self._lock:
+            self._errors += len(requests)
+
+    def snapshot(self) -> TelemetrySnapshot:
+        with self._lock:
+            return TelemetrySnapshot(
+                requests=self._requests,
+                batches=self._batches,
+                errors=self._errors,
+                occupancy=self._occupancy.summary(),
+                latency_ms=self._latency_s.summary(scale=1e3),
+                queue_wait_ms=self._queue_wait_s.summary(scale=1e3),
+                service_ms=self._service_s.summary(scale=1e3),
+            )
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Everything :meth:`StencilService.stats` reports."""
+
+    workers: int
+    submitted: int
+    inflight: int
+    telemetry: TelemetrySnapshot
+    cache: CacheStats
+    per_worker_cache: Tuple[CacheStats, ...] = field(default_factory=tuple)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache.hit_rate
+
+
+def format_service_report(stats: ServiceStats) -> str:
+    """Fixed-width serving report (analysis-table style)."""
+    t = stats.telemetry
+    lines = [
+        f"{'workers':<22} {stats.workers}",
+        f"{'requests served':<22} {t.requests}",
+        f"{'fused batches':<22} {t.batches}",
+        f"{'errors':<22} {t.errors}",
+        f"{'batch occupancy':<22} mean {t.occupancy['mean']:.2f}"
+        f"  max {t.occupancy['max']:.0f}",
+        f"{'plan cache':<22} hits {stats.cache.hits}"
+        f"  misses {stats.cache.misses}"
+        f"  evictions {stats.cache.evictions}"
+        f"  hit-rate {stats.cache.hit_rate * 100:.1f}%",
+    ]
+    for label, h in (
+        ("latency (ms)", t.latency_ms),
+        ("queue wait (ms)", t.queue_wait_ms),
+        ("batch service (ms)", t.service_ms),
+    ):
+        lines.append(
+            f"{label:<22} p50 {h['p50']:.3f}  p90 {h['p90']:.3f}"
+            f"  p99 {h['p99']:.3f}  max {h['max']:.3f}"
+        )
+    if stats.per_worker_cache:
+        for i, c in enumerate(stats.per_worker_cache):
+            lines.append(
+                f"{f'  worker[{i}] cache':<22} hits {c.hits}"
+                f"  misses {c.misses}  size {c.size}/{c.capacity}"
+            )
+    return "\n".join(lines)

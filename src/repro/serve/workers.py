@@ -1,0 +1,165 @@
+"""Sharded worker loops with spec-affinity routing.
+
+Each worker owns a private :class:`~repro.serve.plan_cache.PlanCache` and a
+:class:`~repro.serve.batching.BatchQueue`; requests are routed to workers
+by a deterministic hash of their plan key, so every distinct stencil
+configuration always lands on the same worker and its warm plan cache stays
+hot (no cross-worker cache churn, no plan duplication beyond the shard's
+working set).  Routing by key also means a worker's queue only ever holds
+requests it can coalesce with at most ``#keys-per-shard`` head-of-line
+switches.
+
+Workers are daemon threads: the executor releases the GIL inside the numpy
+GEMMs, so shards overlap; a process-backed pool is a possible future
+backend behind the same interface (plans are not picklable today, which is
+why ``backend="thread"`` is the only implemented choice).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional, Sequence
+
+import time
+
+from ..gpu.device import A100_80GB_PCIE, DeviceSpec
+from .batching import BatchQueue, ServeRequest
+from .plan_cache import CacheStats, PlanCache
+from .telemetry import ServiceTelemetry
+
+__all__ = ["ServeWorker", "WorkerPool"]
+
+
+class ServeWorker(threading.Thread):
+    """One serving shard: drains its queue batch-by-batch until closed."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        queue: BatchQueue,
+        cache: PlanCache,
+        *,
+        device: DeviceSpec = A100_80GB_PCIE,
+        telemetry: Optional[ServiceTelemetry] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        super().__init__(name=f"spider-serve-{worker_id}", daemon=True)
+        self.worker_id = worker_id
+        self.queue = queue
+        self.cache = cache
+        self.device = device
+        self.telemetry = telemetry
+        self._clock = clock
+
+    def run(self) -> None:  # pragma: no cover - exercised via the service
+        while True:
+            batch = self.queue.get_batch()
+            if batch is None:
+                return
+            self.process_batch(batch)
+
+    def process_batch(self, batch: Sequence[ServeRequest]) -> None:
+        """Compile-or-hit the plan, execute one fused pass, resolve all.
+
+        Every exception is routed to the requests' futures — a worker never
+        dies on a bad request.
+        """
+        started = self._clock()
+        req0 = batch[0]
+        try:
+            plan = self.cache.get_or_build(req0.key, spec=req0.spec)
+            if len(batch) == 1:
+                outs = [plan.executor.run(req0.grid)]
+            else:
+                # copy each slice out of the fused (B, *shape) array so a
+                # caller retaining one result does not pin the whole batch
+                outs = [
+                    out.copy()
+                    for out in plan.executor.run_batch(
+                        [r.grid for r in batch]
+                    )
+                ]
+        except Exception as exc:
+            finished = self._clock()
+            for r in batch:
+                r._fail(exc, started_s=started, finished_s=finished)
+            if self.telemetry is not None:
+                self.telemetry.record_error(batch)
+            return
+        finished = self._clock()
+        for r, out in zip(batch, outs):
+            r._resolve(
+                out,
+                batch_size=len(batch),
+                started_s=started,
+                finished_s=finished,
+            )
+        if self.telemetry is not None:
+            self.telemetry.record_batch(batch, started, finished)
+
+
+class WorkerPool:
+    """N sharded workers plus the spec-affinity router."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        *,
+        max_batch_size: int = 8,
+        max_wait_s: float = 0.002,
+        cache_capacity: int = 64,
+        device: DeviceSpec = A100_80GB_PCIE,
+        telemetry: Optional[ServiceTelemetry] = None,
+        backend: str = "thread",
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if backend != "thread":
+            raise ValueError(
+                f"unsupported worker backend {backend!r}; only 'thread' is "
+                "implemented (compile plans are not picklable)"
+            )
+        self.queues: List[BatchQueue] = [
+            BatchQueue(max_batch_size=max_batch_size, max_wait_s=max_wait_s)
+            for _ in range(num_workers)
+        ]
+        self.caches: List[PlanCache] = [
+            PlanCache(capacity=cache_capacity, device=device)
+            for _ in range(num_workers)
+        ]
+        self.workers: List[ServeWorker] = [
+            ServeWorker(
+                i,
+                self.queues[i],
+                self.caches[i],
+                device=device,
+                telemetry=telemetry,
+            )
+            for i in range(num_workers)
+        ]
+        for w in self.workers:
+            w.start()
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)
+
+    def route(self, req: ServeRequest) -> int:
+        """Shard index for a request (pure function of its plan key)."""
+        return req.key.routing_hash() % self.num_workers
+
+    def submit(self, req: ServeRequest) -> int:
+        shard = self.route(req)
+        self.queues[shard].put(req)
+        return shard
+
+    def cache_stats(self) -> List[CacheStats]:
+        return [c.stats() for c in self.caches]
+
+    def close(self, join: bool = True) -> None:
+        """Close every queue; workers drain what's pending, then exit."""
+        for q in self.queues:
+            q.close()
+        if join:
+            for w in self.workers:
+                w.join()

@@ -14,7 +14,13 @@ from typing import Iterator, List, Optional, Tuple
 import numpy as np
 
 from .grid import BoundaryCondition, Grid
-from .spec import ShapeType, StencilSpec, make_box_kernel, make_star_kernel
+from .spec import (
+    ShapeType,
+    StencilSpec,
+    make_box_kernel,
+    make_star_kernel,
+    named_stencil,
+)
 
 __all__ = [
     "Workload",
@@ -26,6 +32,11 @@ __all__ = [
     "FIG11_1D_SIZES",
     "FIG11_2D_SIZES",
     "FIG12_SIZES",
+    "ServingRequest",
+    "serving_workloads",
+    "closed_loop_stream",
+    "open_loop_stream",
+    "SERVING_SHAPE_IDS",
 ]
 
 #: Problem sizes used in §4.2 (Figure 10).
@@ -75,12 +86,18 @@ class Workload:
 def _spec_for(shape_id: str, rng: np.random.Generator) -> StencilSpec:
     """Build a random stencil spec from a paper-style id like 'Box-2D3R'."""
     sid = shape_id.strip()
-    if sid.upper().startswith("1D"):
-        radius = int(sid[2:-1])
-        return make_box_kernel(1, radius, rng, symmetric=True, name=sid)
-    prefix, rest = sid.split("-")
-    dims = int(rest[0])
-    radius = int(rest[2:-1])
+    try:
+        if sid.upper().startswith("1D"):
+            radius = int(sid[2:-1])
+            return make_box_kernel(1, radius, rng, symmetric=True, name=sid)
+        prefix, rest = sid.split("-")
+        dims = int(rest[0])
+        radius = int(rest[2:-1])
+    except (IndexError, ValueError):
+        raise ValueError(
+            f"unrecognized shape id {shape_id!r}; expected a paper id like "
+            "'1D2R', 'Box-2D3R' or 'Star-2D1R', or a named stencil"
+        ) from None
     if prefix.lower() == "box":
         return make_box_kernel(dims, radius, rng, symmetric=True, name=sid)
     if prefix.lower() == "star":
@@ -130,3 +147,116 @@ def paper_size_sweep(shape_id: str, seed: int = 7) -> List[Workload]:
     if spec.dims == 1:
         return [Workload(spec, (n,)) for n in FIG11_1D_SIZES]
     return [Workload(spec, (n, n)) for n in FIG11_2D_SIZES]
+
+
+# ----------------------------------------------------------------------
+# Serving traffic (request streams for repro.serve)
+# ----------------------------------------------------------------------
+
+#: Default mixed-spec serving suite: three named application stencils plus
+#: a paper shape, covering 1D and 2D and both footprint families.
+SERVING_SHAPE_IDS: List[str] = ["heat2d", "blur2d", "wave1d", "Star-2D2R"]
+
+
+@dataclass(frozen=True)
+class ServingRequest:
+    """One element of a serving traffic trace.
+
+    ``arrival_s`` is the request's arrival offset from trace start:
+    always ``0.0`` in closed-loop traces (the client issues the next
+    request when the previous completes, so there is no arrival process),
+    and Poisson-cumulative in open-loop traces (arrivals are independent
+    of service completions — the harder regime for tail latency).
+    """
+
+    workload: Workload
+    grid: Grid
+    arrival_s: float = 0.0
+
+    @property
+    def spec(self) -> StencilSpec:
+        return self.workload.spec
+
+
+def serving_workloads(
+    shape_ids: Optional[List[str]] = None,
+    *,
+    size_1d: Tuple[int, ...] = (4096,),
+    size_2d: Tuple[int, ...] = (48, 48),
+    size_3d: Tuple[int, ...] = (16, 16, 16),
+    seed: int = 7,
+) -> List[Workload]:
+    """Small-problem workloads for serving traffic.
+
+    ``shape_ids`` accepts both named application stencils (``"heat2d"``)
+    and paper shape ids (``"Box-2D2R"``); grid sizes are picked per
+    dimensionality — serving traffic is many small problems, not one
+    paper-sized sweep.
+    """
+    shape_ids = list(shape_ids) if shape_ids else list(SERVING_SHAPE_IDS)
+    rng = np.random.default_rng(seed)
+    sizes = {1: tuple(size_1d), 2: tuple(size_2d), 3: tuple(size_3d)}
+    out: List[Workload] = []
+    for sid in shape_ids:
+        try:
+            spec = named_stencil(sid)
+        except KeyError:
+            spec = _spec_for(sid, rng)
+        out.append(Workload(spec, sizes[spec.dims]))
+    return out
+
+
+def _pick_weights(
+    n: int, weights: Optional[List[float]]
+) -> Optional[np.ndarray]:
+    if weights is None:
+        return None
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != (n,) or np.any(w < 0) or w.sum() <= 0:
+        raise ValueError(f"weights must be {n} non-negative values")
+    return w / w.sum()
+
+
+def closed_loop_stream(
+    workloads: List[Workload],
+    n_requests: int,
+    *,
+    seed: int = 0,
+    weights: Optional[List[float]] = None,
+) -> Iterator[ServingRequest]:
+    """Closed-loop trace: requests are issued back-to-back (no arrivals).
+
+    Each request picks a workload (uniformly, or with a popularity skew via
+    ``weights``) and draws a fresh random grid, so a trace is mixed-spec
+    but repeat-heavy — exactly the regime plan caching targets.
+    """
+    rng = np.random.default_rng(seed)
+    p = _pick_weights(len(workloads), weights)
+    for _ in range(n_requests):
+        wl = workloads[int(rng.choice(len(workloads), p=p))]
+        yield ServingRequest(wl, wl.make_grid(rng), 0.0)
+
+
+def open_loop_stream(
+    workloads: List[Workload],
+    n_requests: int,
+    rate_rps: float,
+    *,
+    seed: int = 0,
+    weights: Optional[List[float]] = None,
+) -> Iterator[ServingRequest]:
+    """Open-loop trace: Poisson arrivals at ``rate_rps`` requests/second.
+
+    Arrival times are cumulative exponential inter-arrivals; a load driver
+    should sleep until each request's ``arrival_s`` before submitting,
+    regardless of completions (the latency-under-load regime).
+    """
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be > 0, got {rate_rps}")
+    rng = np.random.default_rng(seed)
+    p = _pick_weights(len(workloads), weights)
+    t = 0.0
+    for _ in range(n_requests):
+        t += float(rng.exponential(1.0 / rate_rps))
+        wl = workloads[int(rng.choice(len(workloads), p=p))]
+        yield ServingRequest(wl, wl.make_grid(rng), t)
