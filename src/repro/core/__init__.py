@@ -1,7 +1,13 @@
 """SPIDER core: the paper's contribution (§3)."""
 
 from .cost import SpiderCost, spider_cost
-from .encoding import EncodedKernelRow, encode_kernel_row, structural_compress
+from .encoding import (
+    EncodedKernelRow,
+    build_fused_operator,
+    encode_kernel_row,
+    stack_encoded_rows,
+    structural_compress,
+)
 from .executor import FaithfulRunReport, SpiderExecutor
 from .kernel_matrix import (
     K_ALIGN,
@@ -50,6 +56,8 @@ __all__ = [
     "SpiderCost",
     "spider_cost",
     "EncodedKernelRow",
+    "build_fused_operator",
+    "stack_encoded_rows",
     "encode_kernel_row",
     "structural_compress",
     "FaithfulRunReport",

@@ -23,6 +23,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..sptc.formats import GROUP, KEEP, Sparse24Matrix, is_24_sparse
+from ..sptc.fused import FusedStencilOperator
 from ..sptc.metadata import pack_metadata_words
 from .kernel_matrix import (
     build_kernel_matrix,
@@ -32,7 +33,13 @@ from .kernel_matrix import (
 )
 from .swapping import apply_column_swap, strided_permutation
 
-__all__ = ["EncodedKernelRow", "encode_kernel_row", "structural_compress"]
+__all__ = [
+    "EncodedKernelRow",
+    "encode_kernel_row",
+    "structural_compress",
+    "stack_encoded_rows",
+    "build_fused_operator",
+]
 
 
 def structural_compress(
@@ -165,4 +172,52 @@ def encode_kernel_row(
         width=width,
         metadata_words=words,
         swapped_matrix=swapped,
+    )
+
+
+def stack_encoded_rows(encoded: List[EncodedKernelRow]) -> Sparse24Matrix:
+    """Vertically stack every encoded row into one block operator ``K_all``.
+
+    All rows of one stencil share ``(L, width)`` and the strided-swap
+    permutation, so their compressed matrices concatenate along ``m`` into
+    a single 2:4 operand with ``m = n_rows * L`` — the compressed form of
+    the fused single-GEMM operator.
+    """
+    if not encoded:
+        raise ValueError("need at least one encoded kernel row")
+    first = encoded[0]
+    for e in encoded:
+        if e.L != first.L or e.width != first.width:
+            raise ValueError("encoded rows disagree on (L, width)")
+        if not np.array_equal(e.permutation, first.permutation):
+            raise ValueError("encoded rows disagree on the swap permutation")
+    return Sparse24Matrix(
+        np.vstack([e.sparse.values for e in encoded]),
+        np.vstack([e.sparse.positions for e in encoded]),
+        first.width,
+    )
+
+
+def build_fused_operator(
+    encoded: List[EncodedKernelRow],
+    precision: str,
+    use_sptc: bool = True,
+) -> FusedStencilOperator:
+    """AOT stage ➍: compile the fused single-GEMM operator for a stencil.
+
+    Stacks the per-row compressed matrices through
+    :func:`stack_encoded_rows` (which validates that every row shares
+    geometry and swap permutation), applies the selection stage once
+    through the precomputed index tensor and casts the operand to its MAC
+    dtype — everything the runtime GEMM needs, owned by the compile plan.
+    """
+    stacked = stack_encoded_rows(encoded)
+    return FusedStencilOperator(
+        stacked,
+        encoded[0].L,
+        encoded[0].permutation if use_sptc else None,
+        dense_rows=(
+            None if use_sptc else [e.dense_unswapped for e in encoded]
+        ),
+        precision=precision,
     )

@@ -1,41 +1,72 @@
 """Functional SPIDER execution on the SpTC emulator.
 
-Two execution paths with identical semantics:
+Three execution paths:
 
-* :class:`SpiderExecutor` ``.run()`` — the vectorized *fast path*: builds the
-  input matrix ``X`` per kernel row through strided views, applies the row
-  permutation during construction (mirroring the zero-cost addressing fold),
-  and multiplies with :func:`repro.sptc.mma_sp.sparse_matmul` — the same
-  select-then-MAC datapath as the hardware, whole-matrix at a time.
+* :class:`SpiderExecutor` ``.run()`` / ``.run_batch()`` — the *fused fast
+  path*: at compile time every encoded kernel row is stacked into one
+  precompiled block operator ``K_all`` (m = n_rows * L, see
+  :class:`repro.sptc.fused.FusedStencilOperator`), and a sweep is one
+  windowing pass over the padded input plus one ``K_all @ X`` GEMM per
+  line chunk — instead of one line-gather, one windowing pass and one GEMM
+  *per kernel row*.  All large buffers live in a plan-owned workspace
+  arena reused across calls, so steady-state serving performs zero large
+  allocations.
+* ``._reference_run()`` — the original per-row fast path, kept verbatim in
+  structure (per-row line gather, windowing, GEMM, accumulate) as the
+  equivalence oracle the fused path is tested bit-identical against.
 * ``.run_faithful()`` — the warp-level path: shared-memory tiles, per-lane
-  B-fragment loads through the swapped offset functions, metadata registers,
-  sparsity selectors and ``mma.sp.m16n8k16`` issues.  Slow; used by the test
-  suite and the Table-3 experiment.
+  B-fragment loads through the swapped offset functions, metadata
+  registers, sparsity selectors and ``mma.sp.m16n8k16`` issues.  Slow;
+  used by the test suite and the Table-3 experiment.
 
-Both paths support every stencil the substrate can express (1D/2D/3D,
+All paths support every stencil the substrate can express (1D/2D/3D,
 star/box, any radius) because the transformation is rule-based and shape
 agnostic (§3.1.2: "does not require the stencil kernel to follow a
 particular shape or numerical pattern").
+
+Numerics contract
+-----------------
+Per output element, both fast paths reduce the per-column product over the
+swapped-k slots in a fixed ascending order and accumulate kernel-row
+contributions in ascending row order ``q``; the fused MAC is a strictly
+ordered einsum kernel (never the platform BLAS, whose per-element
+reduction order changes with call shape — see
+:mod:`repro.sptc.fused`), so fused and per-row execution are bit-identical
+by construction, independent of batch size, grid shape and line-block
+boundaries.  Under ``precision="fp16"`` both paths accumulate in float32
+**from the start** (the MAC dtype); earlier revisions accumulated in
+float64 and rounded once at the end, which differed from pure float32
+accumulation by up to one ulp per element and forced an extra full-array
+``astype`` round-trip.  Results are compared with ``np.array_equal``
+(``==``) semantics: dropping structurally-zero terms can flip the sign of
+an all-zero output, never a value.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from ..gpu.memory import AccessAudit, audit_warp_access
 from ..sptc.formats import Sparse24Matrix
+from ..sptc.fused import FusedStencilOperator
 from ..sptc.instruction import InstructionStream
 from ..sptc.mma import MmaPrecision
-from ..sptc.mma_sp import mma_sp_lanewise, sparse_matmul, synthesize_metadata_registers
+from ..sptc.mma_sp import (
+    mma_sp_lanewise,
+    sparse_matmul,
+    synthesize_metadata_registers,
+)
 from ..sptc.warp import Warp
-from ..stencil.grid import Grid
+from ..stencil.grid import BoundaryCondition, Grid
 from ..stencil.spec import StencilSpec
-from .encoding import EncodedKernelRow, encode_kernel_row
+from .encoding import EncodedKernelRow, build_fused_operator, encode_kernel_row
 from .row_swap import baseline_row_offset_fn, swapped_row_offset_fn
 
 __all__ = ["SpiderExecutor", "FaithfulRunReport"]
@@ -73,6 +104,156 @@ class FaithfulRunReport:
         return self.stream.count("lds")
 
 
+class _PlanWorkspace:
+    """Preallocated buffers + precomputed index arrays for one geometry.
+
+    A workspace is keyed by grid shape and sized for the largest batch it
+    has served (``batch`` is a *capacity*: every per-batch array is a
+    leading-dim prefix of the capacity-sized one, so smaller batches run
+    in views of the same buffers and variable coalesced batch sizes never
+    thrash the arena).  The executor keeps a small LRU of workspaces so
+    steady-state serving (same plan, same shapes) never allocates
+    grid-sized arrays per call.  Everything here is a pure function of the
+    geometry:
+
+    * ``padded`` — the stacked, halo-padded input buffer, one row per
+      padded *line* (last-axis vector), right-extended with the structural
+      x-pad the windowing needs;
+    * ``base_plines`` / ``row_cols`` — the precomputed line-gather index
+      arrays: padded-line index of interior line ``l`` at kernel-row
+      offset 0, and per-row ``base + offset(q)``;
+    * ``x*`` / ``y`` / ``gather`` — flat GEMM staging buffers, viewed at
+      the current line-block's size;
+    * ``acc`` — the output accumulator, ``(n_lines, chunks, L)`` in the
+      MAC dtype.
+    """
+
+    __slots__ = (
+        "batch",
+        "shape",
+        "n",
+        "lead_shape",
+        "pad_lead",
+        "chunks",
+        "npad",
+        "need",
+        "chunks_ext",
+        "lines_per_grid",
+        "pad_lines_per_grid",
+        "n_lines",
+        "n_pad_lines",
+        "blk",
+        "base_plines",
+        "poffs",
+        "row_cols",
+        "padded",
+        "x_flat",
+        "x16_flat",
+        "x32_flat",
+        "y_flat",
+        "gather_flat",
+        "idx_scratch",
+        "acc",
+    )
+
+    def __init__(
+        self,
+        batch: int,
+        shape: Tuple[int, ...],
+        *,
+        radius: int,
+        L: int,
+        width: int,
+        n_x_rows: int,
+        m_active: int,
+        lead_offset_table: Sequence[Tuple[int, ...]],
+        batch_rows: int,
+        acc_dtype: type,
+        fp16: bool,
+    ) -> None:
+        self.batch = batch
+        self.shape = shape
+        n = shape[-1]
+        lead_shape = shape[:-1]
+        r = radius
+        self.n = n
+        self.lead_shape = lead_shape
+        self.pad_lead = tuple(s + 2 * r for s in lead_shape)
+        self.chunks = math.ceil(n / L)
+        self.npad = self.chunks * L
+        self.need = self.npad - L + width
+        # padded-line length rounded to L so lines reshape into an
+        # (line, chunk, lane) view the X gather can slice directly
+        self.chunks_ext = math.ceil(self.need / L)
+        self.lines_per_grid = int(np.prod(lead_shape)) if lead_shape else 1
+        self.pad_lines_per_grid = (
+            int(np.prod(self.pad_lead)) if self.pad_lead else 1
+        )
+        self.n_lines = batch * self.lines_per_grid
+        self.n_pad_lines = batch * self.pad_lines_per_grid
+        self.blk = min(batch_rows, self.n_pad_lines)
+
+        # padded-line index of interior line l at kernel-row offset 0:
+        # the batch axis joins the leading geometry unpadded
+        full_lead = (batch,) + lead_shape
+        full_pad = (batch,) + self.pad_lead
+        coords = np.unravel_index(np.arange(self.n_lines), full_lead)
+        flat = np.zeros(self.n_lines, dtype=np.int64)
+        stride = 1
+        for dim in reversed(range(len(full_pad))):
+            flat = flat + coords[dim] * stride
+            stride *= full_pad[dim]
+        self.base_plines = flat
+
+        # flat padded-line offset of each kernel row's leading offsets
+        strides = []
+        stride = 1
+        for s in reversed(self.pad_lead):
+            strides.append(stride)
+            stride *= s
+        strides.reverse()
+        self.poffs = tuple(
+            sum(o * st for o, st in zip(off, strides))
+            for off in lead_offset_table
+        )
+        # per-row line-gather index arrays (ascending in l, and for a
+        # fixed l strictly ascending in q — the accumulation-order anchor)
+        self.row_cols = np.stack(
+            [self.base_plines + p for p in self.poffs]
+        )
+
+        self.padded = np.empty((self.n_pad_lines, self.chunks_ext * L))
+        # the ordered GEMM kernel needs >= 2 columns (see FusedStencilOperator)
+        cells = max(self.blk * self.chunks, 2)
+        if fp16:
+            self.x_flat = None
+            self.x16_flat = np.empty(n_x_rows * cells, dtype=np.float16)
+            self.x32_flat = np.empty(n_x_rows * cells, dtype=np.float32)
+        else:
+            self.x_flat = np.empty(n_x_rows * cells)
+            self.x16_flat = None
+            self.x32_flat = None
+        self.y_flat = np.empty(m_active * cells, dtype=acc_dtype)
+        self.gather_flat = np.empty(L * cells, dtype=acc_dtype)
+        self.idx_scratch = np.empty(self.blk, dtype=np.int64)
+        self.acc = np.empty((self.n_lines, self.chunks, L), dtype=acc_dtype)
+
+    def nbytes(self) -> int:
+        total = (
+            self.padded.nbytes
+            + self.y_flat.nbytes
+            + self.gather_flat.nbytes
+            + self.idx_scratch.nbytes
+            + self.acc.nbytes
+            + self.base_plines.nbytes
+            + self.row_cols.nbytes
+        )
+        for buf in (self.x_flat, self.x16_flat, self.x32_flat):
+            if buf is not None:
+                total += buf.nbytes
+        return int(total)
+
+
 class SpiderExecutor:
     """Compiled SPIDER pipeline for one stencil spec.
 
@@ -82,15 +263,20 @@ class SpiderExecutor:
         The stencil to execute.
     precision:
         ``"exact"`` (float64; bitwise-comparable to the reference) or
-        ``"fp16"`` (hardware-like numerics).
+        ``"fp16"`` (hardware-like numerics: float16 storage, float32
+        accumulation end-to-end).
     use_sptc:
         True — strided-swapped kernel + ``mma.sp`` semantics (SPIDER);
         False — unswapped dense kernel matrix + dense ``mma`` semantics
         (the ablation variant *SPIDER w. TC*, §4.4).
     batch_rows:
-        Leading-dimension batching of the fast path's X construction, to
-        bound peak memory on large grids.
+        Line-block granularity of the fused pipeline (and of the per-row
+        reference path's X construction), to bound peak workspace memory
+        on large grids.
     """
+
+    #: workspaces kept per executor (distinct (batch, shape) geometries)
+    MAX_WORKSPACES = 8
 
     def __init__(
         self,
@@ -118,10 +304,44 @@ class SpiderExecutor:
         self.L = enc0.L
         self.width = enc0.width
         self.permutation = enc0.permutation
+        self.n_rows = rows.shape[0]
+        # AOT stage ➍: the fused block operator K_all (m = n_rows * L)
+        self._fused = build_fused_operator(
+            self._encoded, self.precision, use_sptc=use_sptc
+        )
+        self._lead_offset_table: Tuple[Tuple[int, ...], ...] = tuple(
+            self._lead_offsets(q) for q in range(self.n_rows)
+        )
+        # guards the arena *bookkeeping* (dict mutation vs. the stats
+        # reader); buffer contents are still single-writer — the serving
+        # layer routes each plan to exactly one worker
+        self._ws_lock = threading.Lock()
+        self._workspaces: "OrderedDict[Tuple, _PlanWorkspace]" = OrderedDict()
+        self._workspace_builds = 0
 
     # ------------------------------------------------------------------
-    # Fast path
+    # Fused fast path
     # ------------------------------------------------------------------
+    @property
+    def fused_operator(self) -> FusedStencilOperator:
+        """The precompiled single-GEMM operator (compile-time artifact)."""
+        return self._fused
+
+    @property
+    def acc_dtype(self) -> type:
+        """Accumulator/output dtype: float64 exact, float32 under fp16."""
+        return self._fused.acc_dtype
+
+    def workspace_nbytes(self) -> int:
+        """Resident bytes of the plan-owned arena + fused operand.
+
+        Safe to call from a monitoring thread while the owning worker is
+        serving (the arena lock covers the bookkeeping).
+        """
+        with self._ws_lock:
+            ws = sum(w.nbytes() for w in self._workspaces.values())
+        return int(ws + self._fused.nbytes())
+
     def run(self, grid: Grid) -> np.ndarray:
         """One stencil sweep; returns the updated interior.
 
@@ -134,17 +354,46 @@ class SpiderExecutor:
         """Fused sweep over a batch of same-shape grids.
 
         The grids are stacked along a leading batch axis *after* per-grid
-        halo padding (so boundary conditions never couple across requests),
-        and every kernel row's ``K @ X`` then spans the whole batch: one
-        SpTC GEMM amortizes over all requests instead of one per grid.
-        This is the serving layer's fusion primitive.
+        halo padding (so boundary conditions never couple across requests)
+        and the whole batch then flows through the fused ``K_all @ X``
+        pipeline: one windowing pass over the padded lines, one GEMM per
+        line block spanning every kernel row and every request, and one
+        in-order accumulation pass per kernel row.
 
-        Returns an array of shape ``(len(grids), *grid_shape)`` whose slice
-        ``b`` is bit-identical to ``self.run(grids[b])`` — each X column
-        holds one output chunk of one grid, and the select-then-MAC
-        reduction is evaluated per column in a fixed order, so batching
-        never perturbs the numerics.
+        Returns an array of shape ``(len(grids), *grid_shape)`` whose
+        slice ``b`` is bit-identical to ``self.run(grids[b])`` — each X
+        column holds one output chunk of one padded line, and per output
+        element the reduction order is fixed (ascending swapped-k inside
+        the GEMM, ascending kernel row ``q`` across GEMM blocks), so
+        batching never perturbs the numerics.  Under ``fp16`` the result
+        is float32, accumulated in float32 throughout (see the module
+        docstring's numerics contract).
         """
+        grids, shape = self._validate_batch(grids)
+        out = np.empty((len(grids),) + shape, dtype=self.acc_dtype)
+        self._run_fused(grids, shape, out)
+        return out
+
+    def run_batch_split(self, grids: Sequence[Grid]) -> List[np.ndarray]:
+        """Fused sweep returning one freshly-owned array per request.
+
+        Identical numerics to :meth:`run_batch`; the results are written
+        straight from the workspace accumulator into per-request
+        contiguous arrays, so a caller retaining one result neither pins a
+        whole-batch buffer nor pays a second copy (the serving worker's
+        old ``out.copy()``).
+        """
+        grids, shape = self._validate_batch(grids)
+        outs = [
+            np.empty(shape, dtype=self.acc_dtype) for _ in range(len(grids))
+        ]
+        self._run_fused(grids, shape, outs)
+        return outs
+
+    # -- fused internals ------------------------------------------------
+    def _validate_batch(
+        self, grids: Sequence[Grid]
+    ) -> Tuple[List[Grid], Tuple[int, ...]]:
         grids = list(grids)
         if not grids:
             raise ValueError("run_batch needs at least one grid")
@@ -159,6 +408,188 @@ class SpiderExecutor:
                     f"all grids in a batch must share one shape; got "
                     f"{g.shape} vs {shape}"
                 )
+        return grids, shape
+
+    def _workspace_for(
+        self, batch: int, shape: Tuple[int, ...]
+    ) -> _PlanWorkspace:
+        """Fetch (or build/grow) the arena for one grid shape.
+
+        Keyed by shape alone: a workspace built for batch ``B`` serves
+        every batch ``<= B`` through prefix views, and grows (one rebuild)
+        when a larger batch arrives — so mixed coalesced batch sizes reuse
+        one arena instead of thrashing the LRU.
+        """
+        with self._ws_lock:
+            ws = self._workspaces.get(shape)
+            if ws is None or ws.batch < batch:
+                ws = _PlanWorkspace(
+                    batch,
+                    shape,
+                    radius=self.spec.radius,
+                    L=self.L,
+                    width=self.width,
+                    n_x_rows=self._fused.n_x_rows,
+                    m_active=self._fused.m_active,
+                    lead_offset_table=self._lead_offset_table,
+                    batch_rows=self.batch_rows,
+                    acc_dtype=self.acc_dtype,
+                    fp16=self.precision == MmaPrecision.FP16,
+                )
+                self._workspaces[shape] = ws
+                self._workspace_builds += 1
+                while len(self._workspaces) > self.MAX_WORKSPACES:
+                    self._workspaces.popitem(last=False)
+            self._workspaces.move_to_end(shape)
+            return ws
+
+    def _run_fused(
+        self,
+        grids: List[Grid],
+        shape: Tuple[int, ...],
+        dest: Union[np.ndarray, List[np.ndarray]],
+    ) -> None:
+        """One fused sweep into ``dest`` (a (B, *shape) array or B views)."""
+        B = len(grids)
+        ws = self._workspace_for(B, shape)
+        op = self._fused
+        L = self.L
+        chunks = ws.chunks
+        fp16 = self.precision == MmaPrecision.FP16
+        n_x = op.n_x_rows
+        # the workspace is sized for its largest batch so far; this call's
+        # batch runs in leading-dim prefix views of the same buffers
+        n_pad_lines = B * ws.pad_lines_per_grid
+        n_lines = B * ws.lines_per_grid
+
+        padded2d = ws.padded[:n_pad_lines]
+        padded_grids = padded2d.reshape(
+            (B,) + ws.pad_lead + (ws.chunks_ext * L,)
+        )
+        for b, g in enumerate(grids):
+            self._pad_into(g, padded_grids[b])
+        # (line, chunk, lane) view: element [p, j, t] = padded[p, j*L + t],
+        # so swapped X row i is the strided slice [:, sh_i : sh_i+chunks, t_i]
+        padded_lanes = padded2d.reshape(n_pad_lines, ws.chunks_ext, L)
+
+        acc = ws.acc[:n_lines]
+        acc[...] = 0
+        for p0 in range(0, n_pad_lines, ws.blk):
+            p1 = min(p0 + ws.blk, n_pad_lines)
+            pl = p1 - p0
+            block = padded_lanes[p0:p1]
+            cells = pl * chunks
+            # einsum's ordered kernel needs >= 2 columns; pad with zeros
+            # (slicing back to `cells` is a view: the pad sits at the end)
+            n_exec = max(cells, 2)
+            if fp16:
+                x16 = ws.x16_flat[: n_x * n_exec].reshape(n_x, n_exec)
+                if n_exec > cells:
+                    x16[:, cells:] = 0
+                x16_3 = x16[:, :cells].reshape(n_x, pl, chunks)
+                for i in range(n_x):
+                    sh, t = op.x_row_shift[i], op.x_row_lane[i]
+                    np.copyto(x16_3[i], block[:, sh : sh + chunks, t])
+                x32 = ws.x32_flat[: n_x * n_exec].reshape(n_x, n_exec)
+                np.copyto(x32, x16)
+                x2 = x32
+            else:
+                x2 = ws.x_flat[: n_x * n_exec].reshape(n_x, n_exec)
+                if n_exec > cells:
+                    x2[:, cells:] = 0
+                x3 = x2[:, :cells].reshape(n_x, pl, chunks)
+                for i in range(n_x):
+                    sh, t = op.x_row_shift[i], op.x_row_lane[i]
+                    np.copyto(x3[i], block[:, sh : sh + chunks, t])
+            y2 = ws.y_flat[: op.m_active * n_exec].reshape(
+                op.m_active, n_exec
+            )
+            op.execute(x2, out=y2, stream=self.stream)
+            y3 = y2[:, :cells].reshape(op.m_active, pl, chunks)
+            # scatter-accumulate each kernel row's block in ascending q;
+            # a line's contributions arrive in ascending q because its
+            # padded-line index is strictly increasing in q
+            for qi, q in enumerate(op.active_kernel_rows):
+                rc = ws.row_cols[q, :n_lines]
+                lo = int(np.searchsorted(rc, p0, side="left"))
+                hi = int(np.searchsorted(rc, p1, side="left"))
+                if lo >= hi:
+                    continue
+                nl = hi - lo
+                idx = ws.idx_scratch[:nl]
+                np.subtract(rc[lo:hi], p0, out=idx)
+                g3 = ws.gather_flat[: L * nl * chunks].reshape(
+                    L, nl, chunks
+                )
+                np.take(y3[qi * L : (qi + 1) * L], idx, axis=1, out=g3)
+                acc[lo:hi] += g3.transpose(1, 2, 0)
+
+        res2d = acc.reshape(n_lines, ws.npad)[:, : ws.n]
+        lpg = ws.lines_per_grid
+        for b in range(B):
+            np.copyto(
+                dest[b].reshape(lpg, ws.n), res2d[b * lpg : (b + 1) * lpg]
+            )
+
+    def _pad_into(self, grid: Grid, dest: np.ndarray) -> None:
+        """Halo-pad a grid into a preallocated buffer (np.pad semantics).
+
+        Fills ``dest`` of shape ``tuple(s + 2r) + (need,)`` exactly as the
+        reference path's ``np.pad(grid.padded(r), ...)`` would, axis by
+        axis (np.pad pads sequentially, later axes reading earlier axes'
+        halos), without allocating.  The structural x-pad beyond
+        ``n + 2r`` is zero.
+        """
+        r = self.spec.radius
+        data = grid.data
+        d = data.ndim
+        n = data.shape[-1]
+        bc = grid.bc
+        if bc is BoundaryCondition.REFLECT and any(
+            s < r + 1 for s in data.shape
+        ):
+            raise ValueError(
+                "REFLECT boundary needs every grid side > radius"
+            )
+        dest[..., n + 2 * r :] = 0.0
+        center = tuple(slice(r, r + s) for s in data.shape)
+        dest[center] = data
+        for axis in range(d):
+            s = data.shape[axis]
+
+            def at(idx):
+                return (slice(None),) * axis + (idx,)
+
+            left, right = at(slice(0, r)), at(slice(r + s, 2 * r + s))
+            if bc is BoundaryCondition.ZERO:
+                dest[left] = 0.0
+                dest[right] = 0.0
+            elif bc is BoundaryCondition.PERIODIC:
+                # modular gather handles halos wider than the period too
+                dest[left] = dest[at((np.arange(-r, 0) % s) + r)]
+                dest[right] = dest[at((np.arange(s, s + r) % s) + r)]
+            elif bc is BoundaryCondition.NEAREST:
+                dest[left] = dest[at(slice(r, r + 1))]
+                dest[right] = dest[at(slice(r + s - 1, r + s))]
+            else:  # REFLECT (edge value not repeated)
+                dest[left] = dest[at(slice(2 * r, r, -1))]
+                dest[right] = dest[at(slice(r + s - 2, s - 2, -1))]
+
+    # ------------------------------------------------------------------
+    # Per-row reference path (the pre-fusion fast path, kept as oracle)
+    # ------------------------------------------------------------------
+    def _reference_run(self, grids: Sequence[Grid]) -> np.ndarray:
+        """The original per-row fast path: one line gather, one windowing
+        pass and one GEMM **per kernel row**.
+
+        Kept (allocations and all) as the equivalence oracle: the fused
+        pipeline must reproduce this bit-for-bit wherever the platform
+        GEMM is stacking-deterministic, and the benchmark suite measures
+        the fused path's speedup against it.  Shares the numerics contract
+        of :meth:`run_batch` (float32 accumulation under fp16) and the
+        GEMM datapath (:meth:`FusedStencilOperator.row_gemm`).
+        """
+        grids, shape = self._validate_batch(grids)
         B = len(grids)
         r = self.spec.radius
         n = shape[-1]
@@ -179,10 +610,9 @@ class SpiderExecutor:
         full_lead = (B,) + lead_shape
         pad_lead = (B,) + tuple(s + 2 * r for s in lead_shape)
         n_lines = B * (int(np.prod(lead_shape)) if lead_shape else 1)
-        out2d = np.zeros((n_lines, n), dtype=np.float64)
+        out2d = np.zeros((n_lines, n), dtype=self.acc_dtype)
 
-        for q in range(self._rows.shape[0]):
-            enc = self._encoded[q]
+        for q in range(self.n_rows):
             lead_off = (0,) + self._lead_offsets(q)
             for l0 in range(0, n_lines, self.batch_rows):
                 l1 = min(l0 + self.batch_rows, n_lines)
@@ -192,81 +622,18 @@ class SpiderExecutor:
                 windows = sliding_window_view(src, W, axis=1)[:, ::L, :]
                 windows = windows[:, :chunks, :]
                 x = windows.transpose(2, 0, 1).reshape(W, -1)
-                y = self._gemm(enc, x)
+                y = self._gemm(self._encoded[q], x)
                 y = (
                     y.reshape(L, l1 - l0, chunks)
                     .transpose(1, 2, 0)
                     .reshape(l1 - l0, npad)[:, :n]
                 )
                 out2d[l0:l1] += y
-        out = out2d.reshape((B,) + shape)
-        if self.precision != MmaPrecision.EXACT:
-            out = out.astype(np.float32)
-        return out
-
-    # -- helpers --------------------------------------------------------
-    def _as_lines(self, grid: Grid) -> Tuple[np.ndarray, Tuple[int, ...], int]:
-        """View the grid as (lines, n): leading dims flattened."""
-        shape = grid.shape
-        n = shape[-1]
-        lead_shape = shape[:-1]
-        return grid.data.reshape(-1, n).astype(np.float64), lead_shape, n
-
-    def _pad_lines(self, grid: Grid) -> np.ndarray:
-        """BC-pad: radius r on every axis except structural x-pad (added later)."""
-        return grid.padded(self.spec.radius)
-
-    def _lead_offsets(self, q: int) -> Tuple[int, ...]:
-        """Leading-axis offsets (0-based into the padded array) for row q."""
-        if self.spec.dims == 1:
-            return ()
-        if self.spec.dims == 2:
-            return (q,)
-        side = self.spec.side
-        return (q // side, q % side)
-
-    def _gather_source_lines(
-        self,
-        lines_view: np.ndarray,
-        lead_shape: Tuple[int, ...],
-        lead_off: Tuple[int, ...],
-        l0: int,
-        l1: int,
-    ) -> np.ndarray:
-        """Rows of the padded array feeding output lines [l0, l1) for one
-        kernel row: padded line index = interior index + per-axis offset."""
-        if not lead_shape:
-            return lines_view[0:1]
-        # padded leading geometry
-        r = self.spec.radius
-        pad_lead = tuple(s + 2 * r for s in lead_shape)
-        return self._gather_lines(
-            lines_view, lead_shape, pad_lead, lead_off, l0, l1
-        )
-
-    def _gather_lines(
-        self,
-        lines_view: np.ndarray,
-        lead_shape: Tuple[int, ...],
-        pad_lead: Tuple[int, ...],
-        lead_off: Tuple[int, ...],
-        l0: int,
-        l1: int,
-    ) -> np.ndarray:
-        """Generalized line gather with explicit padded leading geometry
-        (lets :meth:`run_batch` prepend an unpadded batch axis)."""
-        idx = np.arange(l0, l1)
-        coords = np.unravel_index(idx, lead_shape)
-        flat = np.zeros_like(idx)
-        stride = 1
-        padded_coords = [c + o for c, o in zip(coords, lead_off)]
-        for dim in reversed(range(len(pad_lead))):
-            flat = flat + padded_coords[dim] * stride
-            stride *= pad_lead[dim]
-        return lines_view[flat]
+        return out2d.reshape((B,) + shape)
 
     def _gemm(self, enc: EncodedKernelRow, x: np.ndarray) -> np.ndarray:
-        """K @ X through the selected datapath (sparse or dense ablation)."""
+        """Seed per-row ``K @ X`` through the emulator datapath (sparse
+        select-then-MAC, or the dense ablation)."""
         if self.use_sptc:
             x_perm = x[enc.permutation]
             return sparse_matmul(
@@ -284,6 +651,46 @@ class SpiderExecutor:
         )
         self.stream.emit("mma", "m16n8k16", count=issues)
         return d
+
+    # -- helpers --------------------------------------------------------
+    def _pad_lines(self, grid: Grid) -> np.ndarray:
+        """BC-pad: radius r on every axis except structural x-pad (added later)."""
+        return grid.padded(self.spec.radius)
+
+    def _lead_offsets(self, q: int) -> Tuple[int, ...]:
+        """Leading-axis offsets (0-based into the padded array) for row q."""
+        if self.spec.dims == 1:
+            return ()
+        if self.spec.dims == 2:
+            return (q,)
+        side = self.spec.side
+        return (q // side, q % side)
+
+    def _gather_lines(
+        self,
+        lines_view: np.ndarray,
+        lead_shape: Tuple[int, ...],
+        pad_lead: Tuple[int, ...],
+        lead_off: Tuple[int, ...],
+        l0: int,
+        l1: int,
+    ) -> np.ndarray:
+        """Line gather shared by the reference and faithful paths: rows of
+        the padded array feeding output lines [l0, l1) for one kernel row
+        (padded line index = interior index + per-axis offset), with
+        explicit padded leading geometry so a batch axis can be prepended
+        unpadded."""
+        if not lead_shape:
+            return lines_view[l0:l1]
+        idx = np.arange(l0, l1)
+        coords = np.unravel_index(idx, lead_shape)
+        flat = np.zeros_like(idx)
+        stride = 1
+        padded_coords = [c + o for c, o in zip(coords, lead_off)]
+        for dim in reversed(range(len(pad_lead))):
+            flat = flat + padded_coords[dim] * stride
+            stride *= pad_lead[dim]
+        return lines_view[flat]
 
     # ------------------------------------------------------------------
     # Faithful warp-level path
@@ -305,8 +712,12 @@ class SpiderExecutor:
                 "the faithful path is an emulator oracle; use grids of at "
                 "most 65536 points"
             )
-        data2d, lead_shape, n = self._as_lines(grid)
-        out2d = np.zeros((data2d.shape[0], n), dtype=np.float64)
+        shape = grid.shape
+        n = shape[-1]
+        lead_shape = shape[:-1]
+        n_lines = int(np.prod(lead_shape)) if lead_shape else 1
+        pad_lead = tuple(s + 2 * self.spec.radius for s in lead_shape)
+        out2d = np.zeros((n_lines, n), dtype=np.float64)
         padded = self._pad_lines(grid)
         L, W = self.L, self.width
         chunks = math.ceil(n / L)
@@ -317,7 +728,6 @@ class SpiderExecutor:
             pad_spec = [(0, 0)] * (padded.ndim - 1) + [(0, extra)]
             padded = np.pad(padded, pad_spec)
         lines_view = padded.reshape(-1, padded.shape[-1])
-        n_lines = data2d.shape[0]
 
         stream = InstructionStream()
         audit = AccessAudit(0, 0, 0, 0)
@@ -326,8 +736,8 @@ class SpiderExecutor:
         for q in range(self._rows.shape[0]):
             enc = self._encoded[q]
             lead_off = self._lead_offsets(q)
-            src = self._gather_source_lines(
-                lines_view, lead_shape, lead_off, 0, n_lines
+            src = self._gather_lines(
+                lines_view, lead_shape, pad_lead, lead_off, 0, n_lines
             )
             windows = sliding_window_view(src, W, axis=1)[:, ::L, :]
             windows = windows[:, :chunks, :]

@@ -105,10 +105,17 @@ class CompilePlan:
     """Everything AOT compilation produces for one stencil configuration.
 
     A plan is the unit the serving layer caches and shares: the compiled
-    :class:`SpiderExecutor` (encoded kernel rows, permutation, metadata),
-    the :class:`CompileReport`, and — when built for a concrete grid shape —
+    :class:`SpiderExecutor` (encoded kernel rows, permutation, metadata,
+    and the fused single-GEMM block operator ``K_all``), the
+    :class:`CompileReport`, and — when built for a concrete grid shape —
     the :class:`TilePlan`.  Compilation is O(1) in the problem size (§4.2),
     so one plan amortizes across arbitrarily many requests.
+
+    Plans also **own their runtime workspaces**: the executor keeps a
+    small arena of preallocated buffers per served ``(batch, shape)``
+    geometry, so steady-state serving through a cached plan performs zero
+    large allocations.  :meth:`workspace_nbytes` is what the serving
+    cache's byte accounting reads.
     """
 
     spec: StencilSpec
@@ -125,6 +132,15 @@ class CompilePlan:
         if self.report is None:
             self.report = build_compile_report(self.spec, self.executor._encoded)
         return self.report
+
+    @property
+    def fused_operator(self):
+        """The precompiled fused block operator (all kernel rows stacked)."""
+        return self.executor.fused_operator
+
+    def workspace_nbytes(self) -> int:
+        """Resident bytes of the plan's operand + workspace arena."""
+        return self.executor.workspace_nbytes()
 
 
 def build_compile_plan(

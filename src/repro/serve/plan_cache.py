@@ -95,13 +95,22 @@ def plan_key_for(
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Counter snapshot of one :class:`PlanCache` (or an aggregate)."""
+    """Counter snapshot of one :class:`PlanCache` (or an aggregate).
+
+    ``workspace_bytes`` accounts for what a resident plan actually pins
+    beyond its compiled artifacts: the fused operator's precompiled
+    operand plus the executor's plan-owned workspace arena (padded-input
+    buffer, X/Y staging, output accumulator per served geometry).  Plans
+    carry workspaces since the fused fast path, so cache sizing decisions
+    should look at bytes, not just entry counts.
+    """
 
     hits: int
     misses: int
     evictions: int
     size: int
     capacity: int
+    workspace_bytes: int = 0
 
     @property
     def lookups(self) -> int:
@@ -116,14 +125,15 @@ class CacheStats:
     @staticmethod
     def aggregate(parts: Iterable["CacheStats"]) -> "CacheStats":
         """Sum counters across shards (per-worker caches)."""
-        hits = misses = evictions = size = capacity = 0
+        hits = misses = evictions = size = capacity = wbytes = 0
         for p in parts:
             hits += p.hits
             misses += p.misses
             evictions += p.evictions
             size += p.size
             capacity += p.capacity
-        return CacheStats(hits, misses, evictions, size, capacity)
+            wbytes += p.workspace_bytes
+        return CacheStats(hits, misses, evictions, size, capacity, wbytes)
 
 
 class PlanCache:
@@ -229,6 +239,10 @@ class PlanCache:
                 evictions=self._evictions,
                 size=len(self._entries),
                 capacity=self.capacity,
+                workspace_bytes=sum(
+                    p.executor.workspace_nbytes()
+                    for p in self._entries.values()
+                ),
             )
 
     def clear(self) -> None:

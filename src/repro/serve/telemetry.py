@@ -170,6 +170,8 @@ def format_service_report(stats: ServiceStats) -> str:
         f"  misses {stats.cache.misses}"
         f"  evictions {stats.cache.evictions}"
         f"  hit-rate {stats.cache.hit_rate * 100:.1f}%",
+        f"{'plan workspaces':<22} "
+        f"{stats.cache.workspace_bytes / 1e6:.2f} MB resident",
     ]
     for label, h in (
         ("latency (ms)", t.latency_ms),

@@ -68,17 +68,11 @@ class ServeWorker(threading.Thread):
         req0 = batch[0]
         try:
             plan = self.cache.get_or_build(req0.key, spec=req0.spec)
-            if len(batch) == 1:
-                outs = [plan.executor.run(req0.grid)]
-            else:
-                # copy each slice out of the fused (B, *shape) array so a
-                # caller retaining one result does not pin the whole batch
-                outs = [
-                    out.copy()
-                    for out in plan.executor.run_batch(
-                        [r.grid for r in batch]
-                    )
-                ]
+            # run_batch_split materializes each result straight from the
+            # plan's workspace accumulator into its own contiguous array,
+            # so callers retaining one result neither pin a whole-batch
+            # buffer nor pay the per-result copy the old path needed
+            outs = plan.executor.run_batch_split([r.grid for r in batch])
         except Exception as exc:
             finished = self._clock()
             for r in batch:

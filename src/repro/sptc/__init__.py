@@ -47,6 +47,7 @@ from .mma import (
     mma_dense,
     mma_dense_lanewise,
 )
+from .fused import FusedStencilOperator
 from .mma_sp import (
     MMA_SP_M16N8K16,
     MMA_SP_M16N8K32,
@@ -63,6 +64,7 @@ __all__ = [
     "KEEP",
     "LANES",
     "Sparse24Matrix",
+    "FusedStencilOperator",
     "compress_24",
     "decompress_24",
     "is_24_sparse",

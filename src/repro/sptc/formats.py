@@ -19,8 +19,8 @@ matches the paper's ``0G00 -> (G,0)`` / metadata ``(01,10)`` example.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -154,6 +154,9 @@ class Sparse24Matrix:
     values: np.ndarray
     positions: np.ndarray
     k: int
+    _selection_indices: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.values = np.asarray(self.values)
@@ -192,6 +195,42 @@ class Sparse24Matrix:
 
     def to_dense(self) -> np.ndarray:
         return decompress_24(self.values, self.positions, self.k)
+
+    # -- selection stage, precomputed ----------------------------------
+    def selection_indices(self) -> np.ndarray:
+        """The static B-row index tensor of the SpTC selection stage.
+
+        ``selection_indices()[i, s]`` is the k-row of the dense RHS that
+        compressed slot ``(i, s)`` multiplies: ``GROUP * (s // KEEP) +
+        positions[i, s]``.  The tensor is a pure function of the metadata,
+        so it is computed once and cached — a plan that keeps the matrix
+        alive pays for it exactly once, not once per GEMM.
+        """
+        cached = self._selection_indices
+        if cached is None:
+            m, half = self.values.shape
+            group_of_slot = np.repeat(np.arange(half // KEEP), KEEP)
+            cached = group_of_slot[None, :] * GROUP + self.positions.astype(
+                np.int64
+            )
+            self._selection_indices = cached
+        return cached
+
+    def selection_expand(self) -> np.ndarray:
+        """Scatter the compressed values to dense width ``k`` through the
+        precomputed selection indices — the selection stage applied at
+        compile time.
+
+        Unlike :meth:`to_dense` this skips the duplicate-position audit
+        (positions are strictly increasing per group, so slots can never
+        collide) and reuses the cached index tensor; it is the builder for
+        precompiled fused operators.  Placeholder slots hold value 0, so
+        the expansion is exactly the structural dense matrix.
+        """
+        m = self.m
+        out = np.zeros((m, self.k), dtype=self.values.dtype)
+        out[np.arange(m)[:, None], self.selection_indices()] = self.values
+        return out
 
     def storage_elements(self) -> int:
         """Value elements stored (half the dense count)."""

@@ -41,19 +41,17 @@ MMA_SP_M16N8K16 = MmaShape(16, 8, 16)
 MMA_SP_M16N8K32 = MmaShape(16, 8, 32)
 
 
-def _selection_gather(
-    values: np.ndarray, positions: np.ndarray, b: np.ndarray
-) -> np.ndarray:
+def _selection_gather(a: Sparse24Matrix, b: np.ndarray) -> np.ndarray:
     """The SpTC selection stage: pick B rows named by the metadata.
 
     For compressed slot ``(i, s)`` in group ``g = s // 2`` the hardware reads
     ``B[4 * g + positions[i, s], :]``.  Returns the (m, k/2, n) tensor of
-    selected B rows, ready for the MAC stage.
+    selected B rows, ready for the MAC stage.  The index tensor is static
+    per matrix and comes precomputed from
+    :meth:`~repro.sptc.formats.Sparse24Matrix.selection_indices` — repeated
+    GEMMs against the same compressed operand never rebuild it.
     """
-    m, half = values.shape
-    group_of_slot = np.repeat(np.arange(half // KEEP), KEEP)  # (k/2,)
-    brows = group_of_slot[None, :] * GROUP + positions.astype(np.int64)  # (m, k/2)
-    return b[brows]  # (m, k/2, n)
+    return b[a.selection_indices()]  # (m, k/2, n)
 
 
 def sparse_matmul(
@@ -84,7 +82,7 @@ def sparse_matmul(
     else:
         vals = a.values.astype(np.float64)
         b_c = b.astype(np.float64)
-    selected = _selection_gather(vals, a.positions, b_c)  # (m, k/2, n)
+    selected = _selection_gather(a, b_c)  # (m, k/2, n)
     d = np.einsum("ms,msn->mn", vals, selected)
     if stream is not None:
         issues = (
@@ -123,7 +121,7 @@ def mma_sp(
         vals = a.values.astype(np.float64)
         b_c = b.astype(np.float64)
         acc_dtype = np.float64
-    selected = _selection_gather(vals, a.positions, b_c)  # (m, k/2, n)
+    selected = _selection_gather(a, b_c)  # (m, k/2, n)
     d = np.einsum("ms,msn->mn", vals, selected)
     if c is not None:
         c = np.asarray(c)
