@@ -136,6 +136,7 @@ def _cmd_serve_bench(args) -> int:
         workers=args.workers,
         max_batch_size=args.batch,
         max_wait_s=args.wait_ms / 1e3,
+        backend=args.backend,
     ) as svc:
         start = time.perf_counter()
         for r in requests:
@@ -158,6 +159,7 @@ def _cmd_serve_bench(args) -> int:
                 {
                     "requests": t.requests,
                     "workers": stats.workers,
+                    "backend": stats.backend,
                     "throughput_rps": throughput,
                     "latency_ms": t.latency_ms,
                     "batch_occupancy": t.occupancy,
@@ -217,6 +219,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--requests", type=int, default=1000)
     p.add_argument("--workers", type=int, default=4)
+    p.add_argument(
+        "--backend",
+        choices=["thread", "process"],
+        default="thread",
+        help="worker backend: GIL-sharing threads or per-shard worker "
+        "processes (bit-identical results; process scales across cores)",
+    )
     p.add_argument("--batch", type=int, default=8, help="max batch size")
     p.add_argument(
         "--wait-ms", type=float, default=2.0, help="batching deadline (ms)"

@@ -28,6 +28,7 @@ from .packing import (
 from .pipeline import (
     CompilePlan,
     CompileReport,
+    PlanRecipe,
     Spider,
     SpiderVariant,
     build_compile_plan,
@@ -75,6 +76,7 @@ __all__ = [
     "plan_metadata_packing",
     "unpack_kernel_tiles",
     "CompilePlan",
+    "PlanRecipe",
     "CompileReport",
     "Spider",
     "SpiderVariant",

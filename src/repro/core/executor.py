@@ -72,6 +72,18 @@ from .row_swap import baseline_row_offset_fn, swapped_row_offset_fn
 __all__ = ["SpiderExecutor", "FaithfulRunReport"]
 
 
+def _rebuild_executor(
+    spec_dict: dict, precision: str, use_sptc: bool, batch_rows: int
+) -> "SpiderExecutor":
+    """Unpickle hook for :class:`SpiderExecutor` (module-level for pickle)."""
+    return SpiderExecutor(
+        StencilSpec.from_dict(spec_dict),
+        precision,
+        use_sptc=use_sptc,
+        batch_rows=batch_rows,
+    )
+
+
 def _kernel_row_table(spec: StencilSpec) -> Tuple[np.ndarray, Tuple[int, ...]]:
     """Kernel rows plus the leading-axis offsets each row applies at.
 
@@ -318,6 +330,23 @@ class SpiderExecutor:
         self._ws_lock = threading.Lock()
         self._workspaces: "OrderedDict[Tuple, _PlanWorkspace]" = OrderedDict()
         self._workspace_builds = 0
+
+    def __reduce__(self):
+        """Pickle as a recompile recipe (the executor holds locks, an
+        instruction stream and a workspace arena — none of which should
+        cross a process boundary).  Compilation is deterministic, so the
+        rebuilt executor's encoded rows and fused operand are bit-identical
+        to the original's; its arena starts empty and refills on first use.
+        """
+        return (
+            _rebuild_executor,
+            (
+                self.spec.to_dict(),
+                self.precision,
+                self.use_sptc,
+                self.batch_rows,
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Fused fast path

@@ -45,6 +45,7 @@ __all__ = [
     "SpiderVariant",
     "CompileReport",
     "CompilePlan",
+    "PlanRecipe",
     "build_compile_plan",
     "build_compile_report",
 ]
@@ -100,6 +101,73 @@ def build_compile_report(
     )
 
 
+@dataclass(frozen=True)
+class PlanRecipe:
+    """The pure-data recipe a compile plan is reconstructible from.
+
+    AOT compilation is deterministic: the same ``(spec, precision,
+    variant, device)`` — plus an optional ``grid_shape`` for the bound
+    tile plan — always produces an identical :class:`SpiderExecutor` and
+    :class:`~repro.sptc.fused.FusedStencilOperator` (identical down to
+    the operand bytes; the recipe round-trip test asserts bit-identical
+    outputs).  A recipe is therefore the unit that crosses process
+    boundaries: plans pickle as their recipe and recompile on the other
+    side, which is what lets ``WorkerPool(backend="process")`` shards own
+    private plan caches without shipping numpy arenas around.
+
+    ``to_dict()`` is JSON-compatible (strings, ints, floats, lists), so
+    recipes can also be logged, diffed or sent over non-pickle transports.
+    """
+
+    spec: StencilSpec
+    precision: str
+    variant: SpiderVariant
+    device: DeviceSpec
+    grid_shape: Optional[Tuple[int, ...]] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "precision": self.precision,
+            "variant": self.variant.value,
+            "device": self.device.to_dict(),
+            "grid_shape": (
+                None if self.grid_shape is None else list(self.grid_shape)
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlanRecipe":
+        shape = data.get("grid_shape")
+        return cls(
+            spec=StencilSpec.from_dict(data["spec"]),
+            precision=MmaPrecision.validate(data["precision"]),
+            variant=SpiderVariant(data["variant"]),
+            device=DeviceSpec.from_dict(data["device"]),
+            grid_shape=None if shape is None else tuple(int(s) for s in shape),
+        )
+
+    def build(self) -> "CompilePlan":
+        """Deterministically recompile the plan this recipe describes."""
+        return build_compile_plan(
+            self.spec,
+            precision=self.precision,
+            variant=self.variant,
+            device=self.device,
+            grid_shape=self.grid_shape,
+        )
+
+
+def _rebuild_plan_from_recipe(recipe_dict: dict) -> "CompilePlan":
+    """Unpickle hook for :class:`CompilePlan` (module-level for pickle).
+
+    Recompiles the whole plan from its pure-data recipe; the rebuilt
+    executor starts with an empty workspace arena, so workspaces are
+    re-established lazily on the plan's first served request.
+    """
+    return PlanRecipe.from_dict(recipe_dict).build()
+
+
 @dataclass
 class CompilePlan:
     """Everything AOT compilation produces for one stencil configuration.
@@ -141,6 +209,32 @@ class CompilePlan:
     def workspace_nbytes(self) -> int:
         """Resident bytes of the plan's operand + workspace arena."""
         return self.executor.workspace_nbytes()
+
+    # ------------------------------------------------------------------
+    def recipe(self) -> PlanRecipe:
+        """The pure-data :class:`PlanRecipe` this plan recompiles from."""
+        return PlanRecipe(
+            spec=self.spec,
+            precision=self.precision,
+            variant=self.variant,
+            device=self.device,
+            grid_shape=(
+                None if self.tile_plan is None else self.tile_plan.grid_shape
+            ),
+        )
+
+    def __reduce__(self):
+        """Pickle as recipe-plus-recompile, not as arrays.
+
+        A plan's compiled artifacts (encoded rows, the fused operand, the
+        workspace arena) are all deterministic functions of its recipe, so
+        shipping the recipe and recompiling on load is both far smaller
+        and guaranteed identical — the recipe round-trip test asserts the
+        rehydrated executor's fused output is bit-identical.  Workspaces
+        are not carried at all: the rebuilt executor's arena refills on
+        first use.
+        """
+        return (_rebuild_plan_from_recipe, (self.recipe().to_dict(),))
 
 
 def build_compile_plan(

@@ -8,7 +8,7 @@ whitepaper / A100 datasheet.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict
 
 __all__ = ["Pipe", "DeviceSpec", "A100_80GB_PCIE", "GENERIC_GPU"]
@@ -79,6 +79,21 @@ class DeviceSpec:
     @property
     def max_resident_threads(self) -> int:
         return self.num_sms * self.max_threads_per_sm
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Pure-data (JSON-compatible) form of the device envelope.
+
+        Every field is a scalar or a str->float mapping, so the dict
+        round-trips exactly through :meth:`from_dict` — what compile-plan
+        recipes embed to rebuild identical plans in another process.
+        """
+        return dict(asdict(self), peak_flops=dict(self.peak_flops))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeviceSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
 
 
 #: The paper's evaluation GPU.  Peaks per the A100 datasheet:

@@ -8,7 +8,9 @@ requests into batched SpTC passes:
 * :mod:`plan_cache` — LRU cache of AOT compile plans, keyed on
   ``(spec fingerprint, variant, precision, tile plan)``;
 * :mod:`batching` — request futures and the same-plan coalescing queue;
-* :mod:`workers` — sharded worker loops with spec-affinity routing;
+* :mod:`workers` — sharded worker loops with spec-affinity routing, as
+  in-process threads (``backend="thread"``) or per-shard worker processes
+  with private plan caches (``backend="process"``, bit-identical results);
 * :mod:`service` — the :class:`StencilService` façade
   (``submit / submit_many / stats / drain``) with a synchronous fallback;
 * :mod:`telemetry` — latency / occupancy / cache-hit histograms feeding
@@ -31,7 +33,7 @@ from .telemetry import (
     TelemetrySnapshot,
     format_service_report,
 )
-from .workers import ServeWorker, WorkerPool
+from .workers import WORKER_BACKENDS, ServeWorker, WorkerPool
 
 __all__ = [
     "BatchQueue",
@@ -49,4 +51,5 @@ __all__ = [
     "format_service_report",
     "ServeWorker",
     "WorkerPool",
+    "WORKER_BACKENDS",
 ]

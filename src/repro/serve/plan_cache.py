@@ -77,6 +77,25 @@ class PlanKey:
             hashlib.sha256(text.encode()).digest()[:8], "big"
         )
 
+    def to_dict(self) -> dict:
+        """Pure-data (JSON-compatible) form, for cross-process transport."""
+        return {
+            "fingerprint": self.fingerprint,
+            "variant": self.variant,
+            "precision": self.precision,
+            "tile_key": list(self.tile_key),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlanKey":
+        """Inverse of :meth:`to_dict`: an equal key (same routing hash)."""
+        return cls(
+            fingerprint=data["fingerprint"],
+            variant=data["variant"],
+            precision=data["precision"],
+            tile_key=tuple(int(t) for t in data["tile_key"]),
+        )
+
 
 def plan_key_for(
     spec: StencilSpec,

@@ -59,6 +59,12 @@ class StencilService:
         Per-worker plan-cache capacity (LRU).
     precision / variant / device:
         Forwarded to compilation, same semantics as :class:`repro.Spider`.
+    backend:
+        Worker backend, ``"thread"`` (default) or ``"process"`` — see
+        :class:`repro.serve.workers.WorkerPool`.  Results are bit-identical
+        across backends; ``"process"`` escapes the GIL entirely (per-shard
+        worker processes with private plan caches), the right choice on
+        multi-core hosts.  Ignored when ``workers == 0``.
     """
 
     def __init__(
@@ -71,12 +77,14 @@ class StencilService:
         precision: str = MmaPrecision.EXACT,
         variant: SpiderVariant = SpiderVariant.SPTC_CO,
         device: DeviceSpec = A100_80GB_PCIE,
+        backend: str = "thread",
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         self.precision = MmaPrecision.validate(precision)
         self.variant = variant
         self.device = device
+        self.backend = backend if workers > 0 else "sync"
         self._telemetry = ServiceTelemetry()
         self._clock = time.monotonic
         self._ids = itertools.count()
@@ -95,6 +103,7 @@ class StencilService:
                 cache_capacity=cache_capacity,
                 device=device,
                 telemetry=self._telemetry,
+                backend=backend,
             )
         else:
             self._sync_cache = PlanCache(
@@ -235,6 +244,7 @@ class StencilService:
             telemetry=self._telemetry.snapshot(),
             cache=CacheStats.aggregate(per_worker),
             per_worker_cache=per_worker,
+            backend=self.backend,
         )
 
     def format_report(self) -> str:

@@ -142,7 +142,15 @@ class ServiceTelemetry:
 
 @dataclass(frozen=True)
 class ServiceStats:
-    """Everything :meth:`StencilService.stats` reports."""
+    """Everything :meth:`StencilService.stats` reports.
+
+    ``backend`` names the worker substrate the counters were aggregated
+    over (``"thread"``, ``"process"``, or ``"sync"`` for the workerless
+    fallback).  With the process backend every number here still covers
+    all shards: workers piggyback cache snapshots on result messages and
+    the parent-side dispatcher records batches into the shared
+    :class:`ServiceTelemetry`, so aggregation is backend-transparent.
+    """
 
     workers: int
     submitted: int
@@ -150,6 +158,7 @@ class ServiceStats:
     telemetry: TelemetrySnapshot
     cache: CacheStats
     per_worker_cache: Tuple[CacheStats, ...] = field(default_factory=tuple)
+    backend: str = "thread"
 
     @property
     def cache_hit_rate(self) -> float:
@@ -160,7 +169,7 @@ def format_service_report(stats: ServiceStats) -> str:
     """Fixed-width serving report (analysis-table style)."""
     t = stats.telemetry
     lines = [
-        f"{'workers':<22} {stats.workers}",
+        f"{'workers':<22} {stats.workers} ({stats.backend})",
         f"{'requests served':<22} {t.requests}",
         f"{'fused batches':<22} {t.batches}",
         f"{'errors':<22} {t.errors}",

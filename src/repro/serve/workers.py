@@ -1,37 +1,66 @@
 """Sharded worker loops with spec-affinity routing.
 
-Each worker owns a private :class:`~repro.serve.plan_cache.PlanCache` and a
-:class:`~repro.serve.batching.BatchQueue`; requests are routed to workers
-by a deterministic hash of their plan key, so every distinct stencil
-configuration always lands on the same worker and its warm plan cache stays
-hot (no cross-worker cache churn, no plan duplication beyond the shard's
-working set).  Routing by key also means a worker's queue only ever holds
-requests it can coalesce with at most ``#keys-per-shard`` head-of-line
-switches.
+Each shard owns a private :class:`~repro.serve.plan_cache.PlanCache` and is
+fed from a :class:`~repro.serve.batching.BatchQueue`; requests are routed
+to shards by a deterministic hash of their plan key, so every distinct
+stencil configuration always lands on the same shard and its warm plan
+cache stays hot (no cross-worker cache churn, no plan duplication beyond
+the shard's working set).  Routing by key also means a shard's queue only
+ever holds requests it can coalesce with at most ``#keys-per-shard``
+head-of-line switches.
 
-Workers are daemon threads: the executor releases the GIL inside the numpy
-GEMMs, so shards overlap; a process-backed pool is a possible future
-backend behind the same interface (plans are not picklable today, which is
-why ``backend="thread"`` is the only implemented choice).
+Two interchangeable backends implement the shard loop:
+
+* ``backend="thread"`` — daemon threads in this process.  The executor
+  releases the GIL inside the numpy MAC, so shards overlap, but Python-side
+  work (gathers, padding, bookkeeping) still serializes on the GIL.
+* ``backend="process"`` — one worker **process** per shard.  Coalescing
+  and routing stay in the parent (identical batching semantics); each
+  coalesced batch crosses a ``multiprocessing`` queue as pure data
+  (request ids, the plan key and spec as dicts, contiguous grid arrays),
+  the worker compiles-or-hits its **private in-process PlanCache** —
+  compile plans are reconstructible from their
+  :class:`~repro.core.pipeline.PlanRecipe`, which is what makes the spec
+  dict sufficient — and result arrays travel back on a shared response
+  queue.  A dispatcher thread in the parent resolves futures and records
+  telemetry, so :class:`~repro.serve.telemetry.ServiceTelemetry` and cache
+  statistics aggregate across processes exactly as they do across threads.
+
+Both backends are **bit-identical**: batch composition never perturbs the
+fused pipeline's numerics (strictly ordered MAC), and a worker process
+recompiles byte-for-byte the plan the parent would have built (the
+cross-backend differential test suite asserts equality on raw result
+bytes).  ``close()`` has the same drain semantics for both: pending
+requests complete, then workers exit; submits after close raise.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import pickle
+import queue as std_queue
 import threading
-from typing import Callable, List, Optional, Sequence
-
 import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..gpu.device import A100_80GB_PCIE, DeviceSpec
+from ..stencil.grid import BoundaryCondition, Grid
+from ..stencil.spec import StencilSpec
 from .batching import BatchQueue, ServeRequest
-from .plan_cache import CacheStats, PlanCache
+from .plan_cache import CacheStats, PlanCache, PlanKey
 from .telemetry import ServiceTelemetry
 
-__all__ = ["ServeWorker", "WorkerPool"]
+__all__ = ["ServeWorker", "WorkerPool", "WORKER_BACKENDS"]
+
+#: Supported ``WorkerPool(backend=...)`` choices.
+WORKER_BACKENDS: Tuple[str, ...] = ("thread", "process")
 
 
 class ServeWorker(threading.Thread):
-    """One serving shard: drains its queue batch-by-batch until closed."""
+    """One thread-backend shard: drains its queue batch-by-batch until closed."""
 
     def __init__(
         self,
@@ -92,8 +121,122 @@ class ServeWorker(threading.Thread):
             self.telemetry.record_batch(batch, started, finished)
 
 
+# ----------------------------------------------------------------------
+# Process backend
+# ----------------------------------------------------------------------
+
+def _pick_mp_context():
+    """Start-method selection for the process backend.
+
+    ``fork`` is the cheapest (no interpreter re-exec, works from any
+    parent, including stdin/REPL-driven ones) but is only safe while the
+    parent has **no other live threads** — a forked child can inherit a
+    mutex held mid-operation by another thread, and Python 3.12+ warns on
+    exactly this.  So: fork when the parent is single-threaded at pool
+    construction, otherwise ``forkserver`` (forks from a clean,
+    thread-free server process) and ``spawn`` as the portable fallback.
+    ``REPRO_MP_START_METHOD`` overrides the choice outright.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    override = os.environ.get("REPRO_MP_START_METHOD")
+    if override:
+        return multiprocessing.get_context(override)
+    if "fork" in methods and threading.active_count() == 1:
+        return multiprocessing.get_context("fork")
+    if "forkserver" in methods:
+        return multiprocessing.get_context("forkserver")
+    return multiprocessing.get_context("spawn")
+
+
+def _picklable_exc(exc: BaseException) -> BaseException:
+    """The exception itself if it pickles, else a faithful stand-in.
+
+    ``multiprocessing`` queues pickle in a background feeder thread, so an
+    unpicklable exception would be *silently dropped* there and the parent
+    would hang waiting for the batch — pre-flighting the pickle in the
+    worker turns that failure mode into an explicit RuntimeError result.
+    """
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _process_worker_main(
+    worker_id: int,
+    task_q,
+    result_q,
+    cache_capacity: int,
+    device_dict: dict,
+) -> None:
+    """Worker-process shard loop (module-level so every mp start method —
+    fork *and* spawn — can import it).
+
+    Owns a private :class:`PlanCache`; every batch message carries the plan
+    key and spec as pure-data dicts, so the worker recompiles (once, then
+    cache-hits) exactly the plan the parent's thread backend would use.
+    Every result/exit message piggybacks a :class:`CacheStats` snapshot
+    (itself a pure-data dataclass), which is how per-shard cache counters
+    aggregate across process boundaries without a synchronous RPC.
+    """
+    device = DeviceSpec.from_dict(device_dict)
+    cache = PlanCache(capacity=cache_capacity, device=device)
+    clock = time.monotonic
+    while True:
+        msg = task_q.get()
+        if msg is None:
+            result_q.put(("exit", worker_id, cache.stats()))
+            return
+        req_ids, key_dict, spec_dict, grid_payloads = msg
+        started = clock()
+        try:
+            key = PlanKey.from_dict(key_dict)
+            spec = StencilSpec.from_dict(spec_dict)
+            grids = [
+                Grid(data, BoundaryCondition(bc))
+                for data, bc in grid_payloads
+            ]
+            plan = cache.get_or_build(key, spec=spec)
+            outs = plan.executor.run_batch_split(grids)
+        except Exception as exc:
+            result_q.put(
+                (
+                    "err",
+                    worker_id,
+                    req_ids,
+                    _picklable_exc(exc),
+                    started,
+                    clock(),
+                    cache.stats(),
+                )
+            )
+            continue
+        result_q.put(
+            ("ok", worker_id, req_ids, outs, started, clock(), cache.stats())
+        )
+
+
 class WorkerPool:
-    """N sharded workers plus the spec-affinity router."""
+    """N sharded workers plus the spec-affinity router.
+
+    Parameters
+    ----------
+    num_workers:
+        Shard count.
+    max_batch_size / max_wait_s:
+        Coalescing policy of the per-shard :class:`BatchQueue` (identical
+        for both backends — batching always happens in the parent).
+    cache_capacity / device:
+        Per-shard plan-cache sizing and the machine model plans compile
+        against.
+    telemetry:
+        Shared :class:`ServiceTelemetry`; the thread backend records into
+        it directly, the process backend through the parent-side result
+        dispatcher — either way one accumulator aggregates every shard.
+    backend:
+        ``"thread"`` (default) or ``"process"`` — see the module docstring.
+    """
 
     def __init__(
         self,
@@ -108,32 +251,90 @@ class WorkerPool:
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
-        if backend != "thread":
+        if backend not in WORKER_BACKENDS:
             raise ValueError(
-                f"unsupported worker backend {backend!r}; only 'thread' is "
-                "implemented (compile plans are not picklable)"
+                f"unsupported worker backend {backend!r}; "
+                f"choose one of {WORKER_BACKENDS}"
             )
+        self.backend = backend
+        self.telemetry = telemetry
         self.queues: List[BatchQueue] = [
             BatchQueue(max_batch_size=max_batch_size, max_wait_s=max_wait_s)
             for _ in range(num_workers)
         ]
-        self.caches: List[PlanCache] = [
-            PlanCache(capacity=cache_capacity, device=device)
+        if backend == "thread":
+            self.caches: List[PlanCache] = [
+                PlanCache(capacity=cache_capacity, device=device)
+                for _ in range(num_workers)
+            ]
+            self.workers: List[ServeWorker] = [
+                ServeWorker(
+                    i,
+                    self.queues[i],
+                    self.caches[i],
+                    device=device,
+                    telemetry=telemetry,
+                )
+                for i in range(num_workers)
+            ]
+            for w in self.workers:
+                w.start()
+            return
+
+        # -- process backend -------------------------------------------
+        ctx = _pick_mp_context()
+        self._num_workers = num_workers
+        self._cache_capacity = int(cache_capacity)
+        # req_id -> (shard, request): the shard index lets worker-death
+        # handling fail exactly the requests the dead shard owned
+        self._pending: Dict[int, Tuple[int, ServeRequest]] = {}
+        self._pending_lock = threading.Lock()
+        # shards whose worker died without its exit sentinel; submit()
+        # rejects them and the feeder fails anything already queued
+        self._dead_shards: set = set()
+        # last-known per-shard cache stats (piggybacked on every result)
+        self._shard_stats: List[CacheStats] = [
+            CacheStats(0, 0, 0, 0, self._cache_capacity, 0)
             for _ in range(num_workers)
         ]
-        self.workers: List[ServeWorker] = [
-            ServeWorker(
-                i,
-                self.queues[i],
-                self.caches[i],
-                device=device,
-                telemetry=telemetry,
+        self._task_qs = [ctx.Queue() for _ in range(num_workers)]
+        self._result_q = ctx.Queue()
+        self.workers = [
+            ctx.Process(
+                target=_process_worker_main,
+                args=(
+                    i,
+                    self._task_qs[i],
+                    self._result_q,
+                    self._cache_capacity,
+                    device.to_dict(),
+                ),
+                name=f"spider-serve-proc-{i}",
+                daemon=True,
             )
             for i in range(num_workers)
         ]
-        for w in self.workers:
-            w.start()
+        for p in self.workers:
+            p.start()
+        self._feeders = [
+            threading.Thread(
+                target=self._feed_shard,
+                args=(i,),
+                name=f"spider-serve-feed-{i}",
+                daemon=True,
+            )
+            for i in range(num_workers)
+        ]
+        for t in self._feeders:
+            t.start()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_results,
+            name="spider-serve-dispatch",
+            daemon=True,
+        )
+        self._dispatcher.start()
 
+    # ------------------------------------------------------------------
     @property
     def num_workers(self) -> int:
         return len(self.workers)
@@ -144,16 +345,209 @@ class WorkerPool:
 
     def submit(self, req: ServeRequest) -> int:
         shard = self.route(req)
+        if self.backend == "process":
+            with self._pending_lock:
+                if shard in self._dead_shards:
+                    raise RuntimeError(
+                        f"serve worker process {shard} died unexpectedly; "
+                        "its shard no longer accepts requests"
+                    )
         self.queues[shard].put(req)
         return shard
 
     def cache_stats(self) -> List[CacheStats]:
-        return [c.stats() for c in self.caches]
+        if self.backend == "thread":
+            return [c.stats() for c in self.caches]
+        with self._pending_lock:
+            return list(self._shard_stats)
 
     def close(self, join: bool = True) -> None:
-        """Close every queue; workers drain what's pending, then exit."""
+        """Close every queue; workers drain what's pending, then exit.
+
+        Process backend: the per-shard feeders forward everything still
+        queued, then send each worker its exit sentinel; ``join=True``
+        additionally waits for feeders, worker processes and the result
+        dispatcher, so on return every result is resolved and
+        ``process.is_alive()`` is False for every worker.
+        """
         for q in self.queues:
             q.close()
-        if join:
+        if not join:
+            return
+        if self.backend == "thread":
             for w in self.workers:
                 w.join()
+            return
+        # feeders only move already-coalesced batches into buffered mp
+        # queues, so they finish promptly; the timeout guards against one
+        # pathological case — a dead worker whose task pipe filled up —
+        # where the daemon feeder would otherwise pin close() forever
+        for t in self._feeders:
+            t.join(timeout=60.0)
+        for p in self.workers:
+            p.join()
+        self._dispatcher.join()
+        for q in self._task_qs:
+            q.close()
+        self._result_q.close()
+
+    # -- process-backend internals --------------------------------------
+    def _feed_shard(self, shard: int) -> None:
+        """Parent-side shard feeder: coalesced batches -> pure data -> child.
+
+        Futures are registered in the pending table *before* the batch is
+        shipped, so the dispatcher can never see a result for an unknown
+        request id.
+        """
+        queue, task_q = self.queues[shard], self._task_qs[shard]
+        while True:
+            batch = queue.get_batch()
+            if batch is None:
+                task_q.put(None)
+                return
+            with self._pending_lock:
+                for r in batch:
+                    self._pending[r.req_id] = (shard, r)
+                # double-check after registering: either this sees the
+                # death (and fails the batch here), or the reaper's sweep
+                # — which marks the shard dead *before* sweeping pending,
+                # under this same lock — sees the registrations; no
+                # interleaving lets a request slip through unresolved
+                dead = shard in self._dead_shards
+                if dead:
+                    batch = [
+                        self._pending.pop(r.req_id)[1]
+                        for r in batch
+                        if r.req_id in self._pending
+                    ]
+            if dead:
+                self._fail_dead_shard_batch(shard, batch)
+                continue
+            req0 = batch[0]
+            task_q.put(
+                (
+                    [r.req_id for r in batch],
+                    req0.key.to_dict(),
+                    req0.spec.to_dict(),
+                    # contiguous arrays pickle as a single buffer each —
+                    # the zero-copy-friendly layout for queue transport
+                    [
+                        (np.ascontiguousarray(r.grid.data), r.grid.bc.value)
+                        for r in batch
+                    ],
+                )
+            )
+
+    def _dispatch_results(self) -> None:
+        """Parent-side result loop: resolve futures, aggregate telemetry.
+
+        Runs until every worker has acknowledged its exit sentinel — or
+        been reaped: the loop polls worker liveness whenever the result
+        queue is idle, so a shard process dying without its sentinel
+        (OOM-kill, segfault) fails its pending futures with an explicit
+        error instead of hanging every caller and ``close()``.  Per-message
+        handling is likewise defensive — a malformed message fails its own
+        batch, never the dispatcher.
+
+        Times come from the worker's ``time.monotonic``; on Linux that
+        clock is system-wide, so latency math against parent-side submit
+        times is coherent (elsewhere queue-wait readings may carry a
+        constant cross-process offset).
+        """
+        exited = [False] * self.num_workers
+        while not all(exited):
+            try:
+                msg = self._result_q.get(timeout=0.2)
+            except std_queue.Empty:
+                self._reap_dead_workers(exited)
+                continue
+            reqs: List[ServeRequest] = []
+            try:
+                kind, worker_id = msg[0], msg[1]
+                if kind == "exit":
+                    with self._pending_lock:
+                        self._shard_stats[worker_id] = msg[2]
+                    exited[worker_id] = True
+                    continue
+                _, _, req_ids, payload, started, finished, stats = msg
+                with self._pending_lock:
+                    self._shard_stats[worker_id] = stats
+                    # ids can be absent if the shard was (wrongly) presumed
+                    # dead and reaped — those futures already failed
+                    reqs = [
+                        self._pending.pop(i)[1]
+                        for i in req_ids
+                        if i in self._pending
+                    ]
+                if kind == "err":
+                    for r in reqs:
+                        r._fail(
+                            payload, started_s=started, finished_s=finished
+                        )
+                    if self.telemetry is not None:
+                        self.telemetry.record_error(reqs)
+                    continue
+                for r, out in zip(reqs, payload):
+                    r._resolve(
+                        out,
+                        batch_size=len(reqs),
+                        started_s=started,
+                        finished_s=finished,
+                    )
+                if self.telemetry is not None:
+                    self.telemetry.record_batch(reqs, started, finished)
+            except Exception as exc:  # pragma: no cover - defensive
+                # a malformed message must fail (at most) its own batch,
+                # never kill the dispatcher and hang every future
+                now = time.monotonic()
+                if not reqs:
+                    reqs = self._pop_ids_from_malformed(msg)
+                for r in reqs:
+                    if not r.done():
+                        r._fail(exc, started_s=now, finished_s=now)
+
+    def _pop_ids_from_malformed(self, msg) -> List[ServeRequest]:
+        """Best-effort request extraction from a message that failed to
+        process (see the dispatcher's defensive except)."""
+        try:
+            ids = [i for i in msg[2] if isinstance(i, int)]
+        except Exception:
+            return []
+        with self._pending_lock:
+            return [
+                self._pending.pop(i)[1] for i in ids if i in self._pending
+            ]
+
+    def _fail_dead_shard_batch(
+        self, shard: int, batch: Sequence[ServeRequest]
+    ) -> None:
+        if not batch:
+            return
+        exc = RuntimeError(
+            f"serve worker process {shard} died unexpectedly "
+            f"(exitcode {self.workers[shard].exitcode})"
+        )
+        now = time.monotonic()
+        for r in batch:
+            r._fail(exc, started_s=now, finished_s=now)
+        if self.telemetry is not None:
+            self.telemetry.record_error(batch)
+
+    def _reap_dead_workers(self, exited: List[bool]) -> None:
+        """Treat a dead-without-sentinel worker as exited: mark its shard
+        down (submit() starts rejecting, the feeder fails anything still
+        queued) and fail the pending requests it owned — explicit errors,
+        never a hang."""
+        for i, p in enumerate(self.workers):
+            if exited[i] or p.is_alive():
+                continue
+            exited[i] = True
+            with self._pending_lock:
+                self._dead_shards.add(i)
+                dead_ids = [
+                    rid
+                    for rid, (shard, _) in self._pending.items()
+                    if shard == i
+                ]
+                dead = [self._pending.pop(rid)[1] for rid in dead_ids]
+            self._fail_dead_shard_batch(i, dead)

@@ -52,6 +52,22 @@ from .mma_sp import MMA_SP_M16N8K16
 __all__ = ["FusedStencilOperator"]
 
 
+def _rebuild_fused_operator(
+    stacked: Sparse24Matrix,
+    L: int,
+    permutation: Optional[np.ndarray],
+    dense_rows: Optional[List[np.ndarray]],
+    precision: str,
+) -> "FusedStencilOperator":
+    """Unpickle hook for :class:`FusedStencilOperator` (module-level for
+    pickle): re-run the build from the compressed operand, so compaction,
+    selection expansion and index tensors are regenerated rather than
+    shipped."""
+    return FusedStencilOperator(
+        stacked, L, permutation, dense_rows=dense_rows, precision=precision
+    )
+
+
 class FusedStencilOperator:
     """All kernel rows of one stencil as a single precompiled operator.
 
@@ -149,6 +165,35 @@ class FusedStencilOperator:
         self.x_row_lane = src % self.L
 
     # ------------------------------------------------------------------
+    def __reduce__(self):
+        """Pickle as constructor arguments (compressed operand + geometry).
+
+        The expanded/compacted operands and index tensors are deterministic
+        functions of the build inputs, so the rebuilt operator is
+        bit-identical.  For the dense-TC ablation the original
+        ``dense_rows`` are recovered from the stored operand: under
+        ``"exact"`` the operand *is* the float64 input, and under
+        ``"fp16"`` the stored values are already float16-representable, so
+        the rebuild's fp16 cast is exact (idempotent).
+        """
+        if self.use_sptc:
+            dense_rows = None
+            permutation: Optional[np.ndarray] = self.permutation
+        else:
+            blocks = self.kernel.reshape(self.n_rows, self.L, self.width)
+            dense_rows = [np.asarray(blocks[q]) for q in range(self.n_rows)]
+            permutation = None
+        # ship the compressed operand *without* its warmed selection-index
+        # cache (the rebuild re-derives and re-warms it), keeping the
+        # payload to values + positions
+        sparse = Sparse24Matrix(
+            self.sparse.values, self.sparse.positions, self.sparse.k
+        )
+        return (
+            _rebuild_fused_operator,
+            (sparse, self.L, permutation, dense_rows, self.precision),
+        )
+
     @property
     def n_x_rows(self) -> int:
         """Input rows the fused GEMM actually consumes (compact width)."""

@@ -83,7 +83,19 @@ def sparse_matmul(
         vals = a.values.astype(np.float64)
         b_c = b.astype(np.float64)
     selected = _selection_gather(a, b_c)  # (m, k/2, n)
-    d = np.einsum("ms,msn->mn", vals, selected)
+    if selected.shape[2] == 1:
+        # einsum degenerates a single output column into its unrolled
+        # inner-product kernel, whose reduction *grouping* differs from
+        # the >=2-column kernel at the last ulp; zero-pad so the per-slot
+        # reduction order is independent of the call's column count — the
+        # same contract (and the same padding) as the fused operator's
+        # ordered MAC, which the executor asserts bit-identity against
+        selected = np.concatenate(
+            [selected, np.zeros_like(selected)], axis=2
+        )
+        d = np.einsum("ms,msn->mn", vals, selected)[:, :1]
+    else:
+        d = np.einsum("ms,msn->mn", vals, selected)
     if stream is not None:
         issues = (
             -(-a.m // shape.m) * -(-b.shape[1] // shape.n) * -(-a.k // shape.k)

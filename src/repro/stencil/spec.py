@@ -71,7 +71,7 @@ def star_mask(dims: int, radius: int) -> np.ndarray:
     return mask
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class StencilSpec:
     """A fully specified stencil problem kernel.
 
@@ -128,6 +128,55 @@ class StencilSpec:
         # freeze the array so a frozen dataclass is actually immutable
         w.setflags(write=False)
         object.__setattr__(self, "weights", w)
+
+    # ------------------------------------------------------------------
+    # Identity and serialization
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        """Semantic equality: same footprint family, geometry and the
+        exact coefficient bytes (the ``name`` tag is cosmetic and ignored,
+        matching :func:`repro.serve.plan_cache.spec_fingerprint`)."""
+        if not isinstance(other, StencilSpec):
+            return NotImplemented
+        return (
+            self.shape is other.shape
+            and self.dims == other.dims
+            and self.radius == other.radius
+            and self.weights.tobytes() == other.weights.tobytes()
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.shape, self.dims, self.radius, self.weights.tobytes())
+        )
+
+    def to_dict(self) -> dict:
+        """Pure-data (JSON-compatible) recipe of this spec.
+
+        ``weights`` round-trips bit-exactly: entries become Python floats
+        (IEEE-754 doubles, the weights' own dtype), so
+        ``from_dict(to_dict(s)) == s`` holds at the byte level — the
+        property that makes compile plans reconstructible in another
+        process.
+        """
+        return {
+            "shape": self.shape.value,
+            "dims": int(self.dims),
+            "radius": int(self.radius),
+            "weights": self.weights.tolist(),
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StencilSpec":
+        """Inverse of :meth:`to_dict` (bit-exact weight reconstruction)."""
+        return cls(
+            shape=ShapeType(data["shape"]),
+            dims=int(data["dims"]),
+            radius=int(data["radius"]),
+            weights=np.asarray(data["weights"], dtype=np.float64),
+            name=data.get("name"),
+        )
 
     # ------------------------------------------------------------------
     # Derived quantities

@@ -110,6 +110,27 @@ def test_fused_bit_identity_property(dims, r, kind, batch, seed):
     assert np.array_equal(ex._reference_run(grids), ex.run_batch(grids))
 
 
+@pytest.mark.parametrize("precision", ["exact", "fp16"])
+def test_fused_bit_identical_single_column_gemm(precision, rng):
+    """Regression: grids small enough that a line block is ONE GEMM column
+    (n_lines * chunks == 1) must still match the oracle bit-for-bit.
+
+    einsum's single-output-column case degenerates into its unrolled
+    inner-product kernel, whose reduction grouping differs from the
+    >=2-column kernel at the last ulp; the fused operator always padded
+    around that, but the per-row reference's ``sparse_matmul`` used to
+    call it unpadded (found by hypothesis: 1D r=3 box, n=5, seed 44).
+    """
+    for r in (1, 2, 3):
+        for n in range(3, 10):
+            spec = make_box_kernel(1, r, rng)
+            ex = SpiderExecutor(spec, precision)
+            grids = [Grid.random((n,), rng)]
+            assert np.array_equal(
+                ex._reference_run(grids), ex.run_batch(grids)
+            ), (r, n)
+
+
 def test_fused_bit_identical_across_batch_rows_chunking(rng):
     """Line-block boundaries must not perturb a single bit."""
     spec = make_box_kernel(2, 2, rng)
