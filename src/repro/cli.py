@@ -11,6 +11,7 @@ Usage::
     python -m repro precision
     python -m repro verify --shape Star-2D3R --size 48x64
     python -m repro serve-bench --requests 1000 --workers 4
+    python -m repro serve-bench --steps 4 --backend process
 """
 
 from __future__ import annotations
@@ -137,6 +138,7 @@ def _cmd_serve_bench(args) -> int:
         max_batch_size=args.batch,
         max_wait_s=args.wait_ms / 1e3,
         backend=args.backend,
+        temporal_mode=args.temporal_mode,
     ) as svc:
         start = time.perf_counter()
         for r in requests:
@@ -144,14 +146,16 @@ def _cmd_serve_bench(args) -> int:
                 now = time.perf_counter() - start
                 if r.arrival_s > now:
                     time.sleep(r.arrival_s - now)
-            svc.submit(r.spec, r.grid)
+            svc.submit(r.spec, r.grid, steps=args.steps)
         svc.drain()
         elapsed = time.perf_counter() - start
         stats = svc.stats()
 
     throughput = len(requests) / elapsed
+    sweeps_per_s = stats.telemetry.sweeps / elapsed
     print(format_service_report(stats))
     print(f"{'throughput':<22} {throughput:.1f} req/s over {elapsed:.3f}s")
+    print(f"{'sweep throughput':<22} {sweeps_per_s:.1f} sweeps/s")
     if args.json:
         t = stats.telemetry
         print(
@@ -160,7 +164,11 @@ def _cmd_serve_bench(args) -> int:
                     "requests": t.requests,
                     "workers": stats.workers,
                     "backend": stats.backend,
+                    "steps": args.steps,
+                    "temporal_mode": args.temporal_mode,
+                    "sweeps": t.sweeps,
                     "throughput_rps": throughput,
+                    "sweeps_per_s": sweeps_per_s,
                     "latency_ms": t.latency_ms,
                     "batch_occupancy": t.occupancy,
                     "cache_hit_rate": stats.cache_hit_rate,
@@ -229,6 +237,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", type=int, default=8, help="max batch size")
     p.add_argument(
         "--wait-ms", type=float, default=2.0, help="batching deadline (ms)"
+    )
+    p.add_argument(
+        "--steps",
+        type=int,
+        default=1,
+        help="sweeps per request: steps > 1 runs each request as one "
+        "in-worker temporal super-sweep (bit-identical to that many "
+        "sequential round-trips under the default exact mode)",
+    )
+    p.add_argument(
+        "--temporal-mode",
+        choices=["exact", "fused"],
+        default="exact",
+        help="multi-sweep execution: 'exact' chains ordered sweeps "
+        "in-worker; 'fused' runs the self-convolved super-kernel as one "
+        "GEMM plus exact boundary-ring repair",
     )
     p.add_argument(
         "--shapes",

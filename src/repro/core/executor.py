@@ -48,7 +48,7 @@ import math
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
@@ -371,6 +371,24 @@ class SpiderExecutor:
             ws = sum(w.nbytes() for w in self._workspaces.values())
         return int(ws + self._fused.nbytes())
 
+    def trim_workspaces(self, keep: int = 0) -> int:
+        """Drop all but the ``keep`` most-recently-used workspace
+        geometries from the arena; returns the bytes freed.
+
+        Trimmed geometries rebuild lazily on their next request (compiled
+        artifacts are untouched), so this is the cheap way for a serving
+        cache to reclaim memory from plans whose cold grid shapes — not
+        the plans themselves — are pinning bytes.
+        """
+        if keep < 0:
+            raise ValueError(f"keep must be >= 0, got {keep}")
+        freed = 0
+        with self._ws_lock:
+            while len(self._workspaces) > keep:
+                _, ws = self._workspaces.popitem(last=False)
+                freed += ws.nbytes()
+        return int(freed)
+
     def run(self, grid: Grid) -> np.ndarray:
         """One stencil sweep; returns the updated interior.
 
@@ -417,6 +435,48 @@ class SpiderExecutor:
             np.empty(shape, dtype=self.acc_dtype) for _ in range(len(grids))
         ]
         self._run_fused(grids, shape, outs)
+        return outs
+
+    def run_batch_steps(
+        self, grids: Sequence[Grid], steps: int
+    ) -> List[np.ndarray]:
+        """``steps`` chained sweeps of a batch — the temporal super-sweep.
+
+        Byte-identical to the client-visible alternative (run one sweep,
+        wrap each result in a ``Grid`` with the same boundary condition,
+        resubmit, ``steps`` times): every sweep performs the same
+        floating-point operations in the same order, and the intermediate
+        float64 re-wrap under ``fp16`` is bit-neutral because
+        float32→float64 widening is exact.  What the chained form *skips*
+        is the per-sweep serving overhead — per-grid ``Grid``
+        construction, batch re-validation, and a fresh whole-batch output
+        allocation + copy per sweep; intermediates live in one reused
+        ping buffer and feed the next sweep's halo pad directly.
+        """
+        grids, shape = self._validate_batch(grids)
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        bcs = [g.bc for g in grids]
+        sources: List[Tuple[np.ndarray, BoundaryCondition]] = [
+            (g.data, g.bc) for g in grids
+        ]
+        # a chained ZERO-BC sweep can skip re-writing the halo and
+        # structural pad: the previous sweep left them zero, only the
+        # center changes (value-dependent BCs re-pad fully every sweep)
+        all_zero = all(bc is BoundaryCondition.ZERO for bc in bcs)
+        pad_mode = "full"
+        for _ in range(steps - 1):
+            # intermediates stay in the workspace accumulator: the views
+            # are consumed into the padded buffer at the start of the
+            # next sweep, before the accumulator is zeroed
+            views = self._sweep_sources(sources, shape, None, pad_mode)
+            sources = list(zip(views, bcs))
+            if all_zero:
+                pad_mode = "center"
+        outs = [
+            np.empty(shape, dtype=self.acc_dtype) for _ in range(len(grids))
+        ]
+        self._sweep_sources(sources, shape, outs, pad_mode)
         return outs
 
     # -- fused internals ------------------------------------------------
@@ -479,7 +539,27 @@ class SpiderExecutor:
         dest: Union[np.ndarray, List[np.ndarray]],
     ) -> None:
         """One fused sweep into ``dest`` (a (B, *shape) array or B views)."""
-        B = len(grids)
+        self._sweep_sources([(g.data, g.bc) for g in grids], shape, dest)
+
+    def _sweep_sources(
+        self,
+        sources: Sequence[Tuple[np.ndarray, BoundaryCondition]],
+        shape: Tuple[int, ...],
+        dest: Union[np.ndarray, List[np.ndarray], None],
+        pad_mode: str = "full",
+    ) -> Optional[List[np.ndarray]]:
+        """One fused sweep of ``(data, bc)`` sources into ``dest``.
+
+        The ``Grid``-free inner form shared by the single-sweep entry
+        points and the chained :meth:`run_batch_steps`.  ``dest=None``
+        leaves the results in the workspace accumulator and returns
+        per-grid views of it (valid until the next sweep through this
+        workspace zeroes the accumulator — the chained path consumes them
+        first).  ``pad_mode="center"`` rewrites only the interior of the
+        padded buffer, relying on halos a previous ZERO-BC sweep already
+        zeroed.
+        """
+        B = len(sources)
         ws = self._workspace_for(B, shape)
         op = self._fused
         L = self.L
@@ -495,8 +575,14 @@ class SpiderExecutor:
         padded_grids = padded2d.reshape(
             (B,) + ws.pad_lead + (ws.chunks_ext * L,)
         )
-        for b, g in enumerate(grids):
-            self._pad_into(g, padded_grids[b])
+        if pad_mode == "center":
+            r = self.spec.radius
+            center = tuple(slice(r, r + s) for s in shape)
+            for b, (data, _) in enumerate(sources):
+                padded_grids[b][center] = data
+        else:
+            for b, (data, bc) in enumerate(sources):
+                self._pad_into(data, bc, padded_grids[b])
         # (line, chunk, lane) view: element [p, j, t] = padded[p, j*L + t],
         # so swapped X row i is the strided slice [:, sh_i : sh_i+chunks, t_i]
         padded_lanes = padded2d.reshape(n_pad_lines, ws.chunks_ext, L)
@@ -555,25 +641,33 @@ class SpiderExecutor:
 
         res2d = acc.reshape(n_lines, ws.npad)[:, : ws.n]
         lpg = ws.lines_per_grid
+        if dest is None:
+            return [
+                res2d[b * lpg : (b + 1) * lpg].reshape(shape)
+                for b in range(B)
+            ]
         for b in range(B):
             np.copyto(
                 dest[b].reshape(lpg, ws.n), res2d[b * lpg : (b + 1) * lpg]
             )
+        return None
 
-    def _pad_into(self, grid: Grid, dest: np.ndarray) -> None:
-        """Halo-pad a grid into a preallocated buffer (np.pad semantics).
+    def _pad_into(
+        self, data: np.ndarray, bc: BoundaryCondition, dest: np.ndarray
+    ) -> None:
+        """Halo-pad an array into a preallocated buffer (np.pad semantics).
 
         Fills ``dest`` of shape ``tuple(s + 2r) + (need,)`` exactly as the
         reference path's ``np.pad(grid.padded(r), ...)`` would, axis by
         axis (np.pad pads sequentially, later axes reading earlier axes'
         halos), without allocating.  The structural x-pad beyond
-        ``n + 2r`` is zero.
+        ``n + 2r`` is zero.  ``data`` may be any dtype that widens exactly
+        to the buffer's float64 (the chained multi-sweep path feeds
+        float32 intermediates under fp16).
         """
         r = self.spec.radius
-        data = grid.data
         d = data.ndim
         n = data.shape[-1]
-        bc = grid.bc
         if bc is BoundaryCondition.REFLECT and any(
             s < r + 1 for s in data.shape
         ):

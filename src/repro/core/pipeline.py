@@ -117,6 +117,17 @@ class PlanRecipe:
 
     ``to_dict()`` is JSON-compatible (strings, ints, floats, lists), so
     recipes can also be logged, diffed or sent over non-pickle transports.
+
+    ``steps > 1`` describes a *temporally fused* plan: ``build()`` first
+    derives the ``steps``-fold self-convolved kernel
+    (:func:`~repro.core.temporal.fuse_kernel`) and compiles that — the
+    recipe the serving runtime's fused temporal mode builds its fused
+    plans through.  The recipe's wire form ships only the small base spec
+    plus ``steps`` (fused kernels have radius ``steps·r``, so their weight
+    tensors are large), and every consumer derives byte-identical fused
+    weights because the convolution sequence is deterministic.  Note the
+    *built* plan is self-contained: its ``spec`` is the fused kernel, so
+    re-pickling it ships the fused weights, not this recipe.
     """
 
     spec: StencilSpec
@@ -124,6 +135,11 @@ class PlanRecipe:
     variant: SpiderVariant
     device: DeviceSpec
     grid_shape: Optional[Tuple[int, ...]] = None
+    steps: int = 1
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise ValueError(f"steps must be >= 1, got {self.steps}")
 
     def to_dict(self) -> dict:
         return {
@@ -134,6 +150,7 @@ class PlanRecipe:
             "grid_shape": (
                 None if self.grid_shape is None else list(self.grid_shape)
             ),
+            "steps": int(self.steps),
         }
 
     @classmethod
@@ -145,12 +162,18 @@ class PlanRecipe:
             variant=SpiderVariant(data["variant"]),
             device=DeviceSpec.from_dict(data["device"]),
             grid_shape=None if shape is None else tuple(int(s) for s in shape),
+            steps=int(data.get("steps", 1)),
         )
 
     def build(self) -> "CompilePlan":
         """Deterministically recompile the plan this recipe describes."""
+        spec = self.spec
+        if self.steps > 1:
+            from .temporal import fuse_kernel  # local: temporal imports us
+
+            spec = fuse_kernel(spec, self.steps)
         return build_compile_plan(
-            self.spec,
+            spec,
             precision=self.precision,
             variant=self.variant,
             device=self.device,

@@ -16,14 +16,20 @@ therefore recomputes the boundary ring with plain stepping on thin strips
 (classic trapezoidal-blocking bookkeeping): a strip of width ``2·t·r``
 stepped ``t`` times reproduces the outer ``t·r`` ring exactly, because
 corruption from the strip's artificial inner edge travels at most ``t·r``
-cells.  The result is bit-compatible with plain stepping on the whole
-domain while touching only ``O(perimeter)`` extra work.
+cells.  On the ring this is *bit-identical* to plain stepping (the strip
+performs the same floating-point sums on the same values); the interior
+is mathematically exact but can differ from step-by-step execution in the
+last ulp, because the fused kernel rounds once where plain stepping
+rounds ``t`` times.  The serving runtime therefore offers two temporal
+modes (see :mod:`repro.serve.workers`): ``"exact"`` chains ordered sweeps
+(byte-identical to ``t`` round-trips, the default) and ``"fused"`` runs
+this fused-GEMM-plus-strips scheme.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, List, Sequence
 
 import numpy as np
 from scipy import signal
@@ -33,7 +39,12 @@ from ..stencil.grid import BoundaryCondition, Grid
 from ..stencil.spec import ShapeType, StencilSpec
 from .pipeline import Spider, SpiderVariant
 
-__all__ = ["fuse_kernel", "TemporalSpider"]
+__all__ = [
+    "fuse_kernel",
+    "repair_boundary_ring",
+    "ring_axis_slices",
+    "TemporalSpider",
+]
 
 
 def fuse_kernel(spec: StencilSpec, steps: int) -> StencilSpec:
@@ -42,10 +53,17 @@ def fuse_kernel(spec: StencilSpec, steps: int) -> StencilSpec:
     Repeated *convolution* of the kernel with itself (two correlation
     passes compose to a correlation with the self-convolved kernel); the
     result has radius ``steps·r``.  Star stencils densify under
-    composition, so the fused spec is always box-shaped.
+    composition, so the fused spec is box-shaped for ``steps >= 2``.
+
+    ``steps == 1`` returns ``spec`` unchanged: one sweep of a kernel *is*
+    that kernel, and relabeling a star stencil as BOX would change its
+    :func:`~repro.serve.plan_cache.spec_fingerprint` — a gratuitous
+    plan-cache miss and recompile for a mathematically identical kernel.
     """
     if steps < 1:
         raise ValueError("steps must be >= 1")
+    if steps == 1:
+        return spec
     w = np.asarray(spec.weights)
     fused = w
     for _ in range(steps - 1):
@@ -59,6 +77,75 @@ def fuse_kernel(spec: StencilSpec, steps: int) -> StencilSpec:
     )
 
 
+def repair_boundary_ring(
+    datas: Sequence[np.ndarray],
+    fuseds: Sequence[np.ndarray],
+    ring: int,
+    steps: int,
+    plain_steps: Callable[[List[np.ndarray], int], List[np.ndarray]],
+    lane_stride: int = 1,
+) -> Sequence[np.ndarray]:
+    """Overwrite each fused result's outer ``ring`` with exact plain-stepped
+    values.
+
+    ``fuseds[b]`` is one fused super-sweep of ``datas[b]`` (all the same
+    shape, any dimensionality); for each axis the leading/trailing strip
+    of width ``>= 2·ring`` from the *original* data is advanced ``steps``
+    plain Dirichlet-0 sweeps via ``plain_steps`` — a batch function, so a
+    serving batch repairs each strip in one fused pass — and its outer
+    ``ring`` slab is copied back.  Each strip keeps every *true* domain
+    edge on the other axes, so its outer slab — corners and edges
+    included — is bit-identical to plain stepping on the whole domain:
+    only the strip's artificial inner face contaminates, and that
+    corruption stays ``>= ring`` cells away.  Overlapping corner writes
+    are therefore writes of identical bytes, making the assignment order
+    irrelevant.  Requires ``min(shape) > 2 * ring``.
+
+    ``lane_stride`` must be the executing pipeline's lane width ``L`` when
+    bit-identity of the ring matters: the SpTC datapath reduces each
+    output element in an order fixed by its *lane* (position modulo ``L``
+    along the last axis), so the trailing last-axis strip is widened to
+    start on a multiple of ``L`` — keeping every strip cell in the lane it
+    occupies in the full grid.  Leading strips start at 0 and are always
+    aligned; other axes index *lines*, whose per-element order is
+    position-independent.
+    """
+    for lo, hi, ring_lo, ring_hi in ring_axis_slices(
+        datas[0].shape, ring, lane_stride
+    ):
+        lo_outs = plain_steps([d[lo] for d in datas], steps)
+        hi_outs = plain_steps([d[hi] for d in datas], steps)
+        for fused, lo_out, hi_out in zip(fuseds, lo_outs, hi_outs):
+            fused[ring_lo] = lo_out[ring_lo]
+            fused[ring_hi] = hi_out[ring_hi]
+    return fuseds
+
+
+def ring_axis_slices(shape, ring: int, lane_stride: int = 1):
+    """Per-axis ``(lo_strip, hi_strip, lo_ring, hi_ring)`` slice tuples of
+    the boundary-repair scheme (see :func:`repair_boundary_ring`, which
+    documents the strip widths and the lane alignment of the trailing
+    last-axis strip).  Shared with the serving runtime's fused temporal
+    mode, which batches each strip across a whole coalesced batch.
+    """
+    strip = 2 * ring
+    full = [slice(None)] * len(shape)
+    last = len(shape) - 1
+    for axis in range(len(shape)):
+        lo = list(full)
+        lo[axis] = slice(0, strip)
+        start = shape[axis] - strip
+        if axis == last and lane_stride > 1:
+            start = (start // lane_stride) * lane_stride
+        hi = list(full)
+        hi[axis] = slice(start, None)
+        ring_lo = list(full)
+        ring_lo[axis] = slice(0, ring)
+        ring_hi = list(full)
+        ring_hi[axis] = slice(-ring, None)
+        yield tuple(lo), tuple(hi), tuple(ring_lo), tuple(ring_hi)
+
+
 @dataclass
 class TemporalSpider:
     """SPIDER with ``t``-step temporal fusion and exact boundary handling.
@@ -66,9 +153,11 @@ class TemporalSpider:
     ``run(grid, total_steps)`` advances the grid ``total_steps`` sweeps
     using fused super-sweeps of ``steps`` each (plus a plain remainder),
     recomputing the boundary ring so the result matches plain Dirichlet-0
-    stepping everywhere.
+    stepping everywhere (bit-identically on the ring, to the last ulp in
+    the interior — see the module docstring).
 
-    Only ``BoundaryCondition.ZERO`` grids are accepted.
+    Supports 1D, 2D and 3D stencils; only ``BoundaryCondition.ZERO``
+    grids are accepted.
     """
 
     spec: StencilSpec
@@ -79,11 +168,13 @@ class TemporalSpider:
     def __post_init__(self) -> None:
         if self.steps < 1:
             raise ValueError("steps must be >= 1")
-        if self.spec.dims not in (1, 2):
-            raise ValueError("temporal fusion supports 1D and 2D stencils")
         self.fused_spec = fuse_kernel(self.spec, self.steps)
         self._fused = Spider(self.fused_spec, self.precision, self.variant)
-        self._plain = Spider(self.spec, self.precision, self.variant)
+        self._plain = (
+            self._fused
+            if self.steps == 1
+            else Spider(self.spec, self.precision, self.variant)
+        )
 
     @property
     def fused_radius(self) -> int:
@@ -96,33 +187,30 @@ class TemporalSpider:
             out = self._plain.run(Grid(out, BoundaryCondition.ZERO))
         return out
 
+    def _plain_steps_batch(
+        self, datas: List[np.ndarray], t: int
+    ) -> List[np.ndarray]:
+        """Batched plain stepping for the ring repair (byte-identical to
+        per-array :meth:`_plain_steps` — the chained-sweep contract)."""
+        return self._plain.executor.run_batch_steps(
+            [Grid(d, BoundaryCondition.ZERO) for d in datas], t
+        )
+
     def _super_step(self, data: np.ndarray) -> np.ndarray:
         """One fused super-sweep == ``steps`` plain Dirichlet-0 sweeps."""
         ring = self.fused_radius  # t*r cells are boundary-contaminated
-        fused = self._fused.run(Grid(data, BoundaryCondition.ZERO))
         if min(data.shape) <= 2 * ring:
             # domain too small for an uncontaminated interior: step plainly
             return self._plain_steps(data, self.steps)
-        strip = 2 * ring
-        if self.spec.dims == 1:
-            (n,) = data.shape
-            left = self._plain_steps(data[:strip], self.steps)
-            right = self._plain_steps(data[-strip:], self.steps)
-            fused[:ring] = left[:ring]
-            fused[-ring:] = right[-ring:]
-            return fused
-        # each edge strip keeps the two lateral *true* domain edges, so its
-        # outer ring (including corners) is exact; only the strip's inner
-        # artificial edge contaminates, and that stays >= ring cells away
-        top = self._plain_steps(data[:strip, :], self.steps)
-        bottom = self._plain_steps(data[-strip:, :], self.steps)
-        left = self._plain_steps(data[:, :strip], self.steps)
-        right = self._plain_steps(data[:, -strip:], self.steps)
-        fused[:, :ring] = left[:, :ring]
-        fused[:, -ring:] = right[:, -ring:]
-        fused[:ring, :] = top[:ring, :]
-        fused[-ring:, :] = bottom[-ring:, :]
-        return fused
+        fused = self._fused.run(Grid(data, BoundaryCondition.ZERO))
+        return repair_boundary_ring(
+            [data],
+            [fused],
+            ring,
+            self.steps,
+            self._plain_steps_batch,
+            lane_stride=self._plain.executor.L,
+        )[0]
 
     # ------------------------------------------------------------------
     def run(self, grid: Grid, total_steps: int) -> Grid:
@@ -138,6 +226,10 @@ class TemporalSpider:
         for _ in range(full):
             data = self._super_step(data)
         data = self._plain_steps(data, rem)
+        if data is grid.data:
+            # zero-step path: never hand back a Grid aliasing the caller's
+            # buffer (mutating the result must not corrupt the input)
+            data = data.copy()
         return Grid(data, BoundaryCondition.ZERO)
 
     def traffic_savings(self) -> float:

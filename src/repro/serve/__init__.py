@@ -33,7 +33,13 @@ from .telemetry import (
     TelemetrySnapshot,
     format_service_report,
 )
-from .workers import WORKER_BACKENDS, ServeWorker, WorkerPool
+from .workers import (
+    TEMPORAL_MODES,
+    WORKER_BACKENDS,
+    ServeWorker,
+    WorkerPool,
+    execute_serve_batch,
+)
 
 __all__ = [
     "BatchQueue",
@@ -52,4 +58,6 @@ __all__ = [
     "ServeWorker",
     "WorkerPool",
     "WORKER_BACKENDS",
+    "TEMPORAL_MODES",
+    "execute_serve_batch",
 ]

@@ -12,7 +12,11 @@ phase-amortization idea as the SUMMA compute model's overlapped pipeline
 released as soon as ``max_batch_size`` same-key requests are pending, or
 when the oldest pending request has waited ``max_wait_s`` (the deadline
 bounds added latency under light load).  Requests with *different* keys
-never share a batch.  Keys are served oldest-pending-head first — an
+never share a batch — and because the sweep-aware
+:class:`~repro.serve.plan_cache.PlanKey` carries ``steps``, multi-sweep
+requests coalesce by ``(plan, steps)``: a batch only ever fuses requests
+advancing the same plan by the same number of sweeps, so the whole batch
+can ride one temporal super-sweep.  Keys are served oldest-pending-head first — an
 overdue cold key always beats a hot key's next full batch, so sustained
 hot traffic delays a cold request by at most one coalescing window plus
 one batch service time — but while the oldest head is still inside its
@@ -83,6 +87,13 @@ class ServeRequest:
         self.started_s = started_s
         self.finished_s = finished_s
         self._event.set()
+
+    @property
+    def steps(self) -> int:
+        """Sweeps this request advances — read from the sweep-aware plan
+        key, the single source of truth the workers execute by (the
+        telemetry layer sums it into the sweeps/s accounting)."""
+        return self.key.steps
 
     # -- caller side ----------------------------------------------------
     def done(self) -> bool:

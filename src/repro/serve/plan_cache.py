@@ -59,22 +59,43 @@ def spec_fingerprint(spec: StencilSpec) -> str:
 
 @dataclass(frozen=True)
 class PlanKey:
-    """Identity of one compile plan (see module docstring)."""
+    """Identity of one compile plan (see module docstring).
+
+    ``steps`` makes the key *sweep-aware*: a multi-sweep (temporal
+    super-sweep) request carries the same spec fingerprint as its plain
+    counterpart but a ``steps > 1`` tag, so the coalescer groups requests
+    by ``(plan, steps)`` — only requests advancing the same number of
+    sweeps fuse into one batch — while distinct ``steps`` values cache
+    their temporal artifacts independently (the fused kernel of ``t``
+    sweeps has its own spec, hence its own fingerprint and cache entry).
+    """
 
     fingerprint: str
     variant: str
     precision: str
     tile_key: Tuple[int, ...]
+    steps: int = 1
 
     def routing_hash(self) -> int:
         """Deterministic hash for spec-affinity worker routing.
 
         Unlike ``hash()`` this is stable across processes (no PYTHONHASHSEED
         salting), so a request stream shards identically on every run.
+        ``steps`` is deliberately excluded: a super-sweep request must land
+        on the same shard as its plain siblings so both share one warm
+        plain plan (and, in fused mode, the fused plan lives next to it).
         """
         text = f"{self.fingerprint}|{self.variant}|{self.precision}|{self.tile_key}"
         return int.from_bytes(
             hashlib.sha256(text.encode()).digest()[:8], "big"
+        )
+
+    def base(self) -> "PlanKey":
+        """The plain (``steps == 1``) key this sweep-aware key builds on."""
+        if self.steps == 1:
+            return self
+        return PlanKey(
+            self.fingerprint, self.variant, self.precision, self.tile_key, 1
         )
 
     def to_dict(self) -> dict:
@@ -84,16 +105,21 @@ class PlanKey:
             "variant": self.variant,
             "precision": self.precision,
             "tile_key": list(self.tile_key),
+            "steps": int(self.steps),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "PlanKey":
-        """Inverse of :meth:`to_dict`: an equal key (same routing hash)."""
+        """Inverse of :meth:`to_dict`: an equal key (same routing hash).
+
+        Tolerates pre-sweep-aware dicts without a ``steps`` entry.
+        """
         return cls(
             fingerprint=data["fingerprint"],
             variant=data["variant"],
             precision=data["precision"],
             tile_key=tuple(int(t) for t in data["tile_key"]),
+            steps=int(data.get("steps", 1)),
         )
 
 
@@ -102,13 +128,17 @@ def plan_key_for(
     variant: SpiderVariant = SpiderVariant.SPTC_CO,
     precision: str = MmaPrecision.EXACT,
     grid_shape: Tuple[int, ...] = (),
+    steps: int = 1,
 ) -> PlanKey:
     """Build the cache key a request with this configuration resolves to."""
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
     return PlanKey(
         fingerprint=spec_fingerprint(spec),
         variant=variant.value,
         precision=MmaPrecision.validate(precision),
         tile_key=tuple(int(s) for s in grid_shape),
+        steps=int(steps),
     )
 
 
@@ -165,15 +195,38 @@ class PlanCache:
         evicted on overflow (both hits and inserts refresh recency).
     device:
         Default machine model handed to the plan builder.
+    max_workspace_bytes:
+        Optional cap on the *bytes* resident plans pin (fused operands plus
+        plan-owned workspace arenas — the same accounting
+        ``CacheStats.workspace_bytes`` reports).  Entry-count eviction alone
+        lets a few fused high-radius plans (whose workspaces are large) pin
+        unbounded memory; with a byte cap the cache first trims cold
+        geometries from old plans' arenas and then evicts whole LRU plans
+        until it fits.  Enforced on every :meth:`get_or_build` (workspaces
+        grow lazily *after* insertion, so insert-time checks are not
+        enough).  The two most-recently-used plans are never trimmed or
+        evicted — a temporal super-sweep keeps a plain/fused plan pair in
+        flight — so an oversized working set can exceed the cap rather
+        than thrash forever.
     """
 
     def __init__(
-        self, capacity: int = 64, device: DeviceSpec = A100_80GB_PCIE
+        self,
+        capacity: int = 64,
+        device: DeviceSpec = A100_80GB_PCIE,
+        max_workspace_bytes: Optional[int] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if max_workspace_bytes is not None and max_workspace_bytes < 1:
+            raise ValueError(
+                f"max_workspace_bytes must be >= 1, got {max_workspace_bytes}"
+            )
         self.capacity = int(capacity)
         self.device = device
+        self.max_workspace_bytes = (
+            None if max_workspace_bytes is None else int(max_workspace_bytes)
+        )
         self._entries: "OrderedDict[PlanKey, CompilePlan]" = OrderedDict()
         self._lock = threading.RLock()
         self._hits = 0
@@ -215,6 +268,61 @@ class PlanCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+            self._enforce_bytes_locked()
+
+    # -- byte-based eviction (callers hold self._lock) -------------------
+    def _enforce_bytes_locked(self) -> None:
+        """Bring resident workspace bytes under ``max_workspace_bytes``.
+
+        Two stages, both sparing the **two** most-recently-used plans:
+        first *trim* cold plans' workspace arenas — the compiled artifacts
+        stay resident, so a re-warmed plan only pays a lazy arena refill,
+        not a recompile — then evict whole LRU plans.  Two are spared, not
+        one, because a temporal super-sweep keeps a pair of plans in
+        flight (the plain plan and the fused super-kernel plan); sparing
+        only the MRU would tear down the plain plan's just-warmed arena
+        on every fused-plan hit.  One O(entries) sizing walk per call;
+        trim/evict steps adjust the running total instead of re-summing.
+        """
+        limit = self.max_workspace_bytes
+        if limit is None:
+            return
+        entries = list(self._entries.items())  # LRU -> MRU
+        sizes = [p.executor.workspace_nbytes() for _, p in entries]
+        total = sum(sizes)
+        if total <= limit:
+            return
+        for i, (_, plan) in enumerate(entries[:-2]):
+            freed = plan.executor.trim_workspaces(0)
+            sizes[i] -= freed
+            total -= freed
+            if total <= limit:
+                return
+        for i, (key, _) in enumerate(entries[:-2]):
+            del self._entries[key]
+            self._evictions += 1
+            total -= sizes[i]
+            if total <= limit:
+                return
+
+    def trim(self, keep_geometries: int = 1) -> int:
+        """Drop cold geometries from every resident plan's workspace arena.
+
+        Each plan keeps its ``keep_geometries`` most-recently-served grid
+        shapes (0 empties the arenas entirely); trimmed geometries rebuild
+        lazily if they recur.  Returns the number of bytes freed.  This is
+        the maintenance valve for fused high-radius plans, whose per-
+        geometry workspaces are large even when only one shape is hot.
+        """
+        if keep_geometries < 0:
+            raise ValueError(
+                f"keep_geometries must be >= 0, got {keep_geometries}"
+            )
+        with self._lock:
+            return sum(
+                p.executor.trim_workspaces(keep_geometries)
+                for p in self._entries.values()
+            )
 
     def get_or_build(
         self,
@@ -233,6 +341,10 @@ class PlanCache:
         with self._lock:  # RLock: lookup/insert compose under one hold
             plan = self.lookup(key)
             if plan is not None:
+                # arenas grow lazily after insertion; re-check the byte cap
+                # on every hit (the hit just made this plan MRU, so it is
+                # spared by the enforcement pass)
+                self._enforce_bytes_locked()
                 return plan
             if builder is None:
                 if spec is None:

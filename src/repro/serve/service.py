@@ -37,7 +37,7 @@ from ..stencil.spec import StencilSpec
 from .batching import ServeRequest
 from .plan_cache import CacheStats, PlanCache, plan_key_for
 from .telemetry import ServiceStats, ServiceTelemetry, format_service_report
-from .workers import WorkerPool
+from .workers import TEMPORAL_MODES, WorkerPool, execute_serve_batch
 
 __all__ = ["StencilService"]
 
@@ -65,6 +65,14 @@ class StencilService:
         across backends; ``"process"`` escapes the GIL entirely (per-shard
         worker processes with private plan caches), the right choice on
         multi-core hosts.  Ignored when ``workers == 0``.
+    temporal_mode:
+        How multi-sweep requests (``submit(..., steps=t)``) execute their
+        temporal super-sweep: ``"exact"`` (default) chains ``t`` ordered
+        sweeps inside the worker — byte-identical to ``t`` sequential
+        round-trips — while ``"fused"`` runs the ``t``-fold self-convolved
+        kernel as one fused GEMM plus exact boundary-ring repair (interior
+        deviates by at most the last ulp).  See
+        :mod:`repro.serve.workers`.
     """
 
     def __init__(
@@ -78,13 +86,20 @@ class StencilService:
         variant: SpiderVariant = SpiderVariant.SPTC_CO,
         device: DeviceSpec = A100_80GB_PCIE,
         backend: str = "thread",
+        temporal_mode: str = "exact",
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        if temporal_mode not in TEMPORAL_MODES:
+            raise ValueError(
+                f"unsupported temporal_mode {temporal_mode!r}; "
+                f"choose one of {TEMPORAL_MODES}"
+            )
         self.precision = MmaPrecision.validate(precision)
         self.variant = variant
         self.device = device
         self.backend = backend if workers > 0 else "sync"
+        self.temporal_mode = temporal_mode
         self._telemetry = ServiceTelemetry()
         self._clock = time.monotonic
         self._ids = itertools.count()
@@ -104,6 +119,7 @@ class StencilService:
                 device=device,
                 telemetry=self._telemetry,
                 backend=backend,
+                temporal_mode=temporal_mode,
             )
         else:
             self._sync_cache = PlanCache(
@@ -117,12 +133,28 @@ class StencilService:
 
     # ------------------------------------------------------------------
     def submit(
-        self, spec: StencilSpec, grid: Union[Grid, np.ndarray]
+        self,
+        spec: StencilSpec,
+        grid: Union[Grid, np.ndarray],
+        steps: int = 1,
     ) -> ServeRequest:
-        """Enqueue one sweep; returns a future-like :class:`ServeRequest`."""
+        """Enqueue ``steps`` sweeps; returns a future-like :class:`ServeRequest`.
+
+        ``steps > 1`` requests execute as one temporal super-sweep inside
+        the worker (no per-sweep queue round-trips); the result is
+        byte-identical to submitting the grid ``steps`` times sequentially
+        under the default ``temporal_mode="exact"``.  Requests coalesce by
+        ``(plan, steps)``: only same-plan requests advancing the same
+        number of sweeps share a batch.
+        """
+        steps = int(steps)
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
         if not isinstance(grid, Grid):
             grid = Grid(np.asarray(grid))
-        key = plan_key_for(spec, self.variant, self.precision, grid.shape)
+        key = plan_key_for(
+            spec, self.variant, self.precision, grid.shape, steps=steps
+        )
         req = ServeRequest(
             req_id=next(self._ids),
             spec=spec,
@@ -183,17 +215,24 @@ class StencilService:
         spec: StencilSpec,
         grid: Union[Grid, np.ndarray],
         timeout: Optional[float] = None,
+        *,
+        steps: int = 1,
     ) -> np.ndarray:
         """Submit and block for the result (convenience)."""
-        return self.submit(spec, grid).result(timeout)
+        return self.submit(spec, grid, steps=steps).result(timeout)
 
     def _run_sync(self, req: ServeRequest) -> None:
         """Synchronous fallback: the caller thread is the worker."""
         assert self._sync_cache is not None
         started = self._clock()
         try:
-            plan = self._sync_cache.get_or_build(req.key, spec=req.spec)
-            out = plan.executor.run(req.grid)
+            out = execute_serve_batch(
+                self._sync_cache,
+                req.key,
+                req.spec,
+                [req.grid],
+                self.temporal_mode,
+            )[0]
         except Exception as exc:
             finished = self._clock()
             req._fail(exc, started_s=started, finished_s=finished)

@@ -82,7 +82,14 @@ class Histogram:
 
 @dataclass(frozen=True)
 class TelemetrySnapshot:
-    """Immutable copy of the counters at one instant (all times in ms)."""
+    """Immutable copy of the counters at one instant (all times in ms).
+
+    ``sweeps`` counts stencil sweeps *advanced* rather than requests
+    served: a temporal super-sweep request (``submit(..., steps=t)``)
+    contributes ``t``, so sweeps/s is the throughput measure that stays
+    comparable between the per-sweep round-trip path and fused
+    multi-sweep serving.
+    """
 
     requests: int
     batches: int
@@ -91,6 +98,7 @@ class TelemetrySnapshot:
     latency_ms: Dict[str, float]
     queue_wait_ms: Dict[str, float]
     service_ms: Dict[str, float]
+    sweeps: int = 0
 
     @property
     def mean_occupancy(self) -> float:
@@ -103,6 +111,7 @@ class ServiceTelemetry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._requests = 0
+        self._sweeps = 0
         self._batches = 0
         self._errors = 0
         self._latency_s = Histogram()
@@ -117,6 +126,9 @@ class ServiceTelemetry:
         with self._lock:
             self._batches += 1
             self._requests += len(requests)
+            self._sweeps += sum(
+                int(getattr(r, "steps", 1)) for r in requests
+            )
             self._occupancy.record(len(requests))
             self._service_s.record(finished_s - started_s)
             for r in requests:
@@ -133,6 +145,7 @@ class ServiceTelemetry:
                 requests=self._requests,
                 batches=self._batches,
                 errors=self._errors,
+                sweeps=self._sweeps,
                 occupancy=self._occupancy.summary(),
                 latency_ms=self._latency_s.summary(scale=1e3),
                 queue_wait_ms=self._queue_wait_s.summary(scale=1e3),
@@ -171,6 +184,7 @@ def format_service_report(stats: ServiceStats) -> str:
     lines = [
         f"{'workers':<22} {stats.workers} ({stats.backend})",
         f"{'requests served':<22} {t.requests}",
+        f"{'sweeps advanced':<22} {t.sweeps}",
         f"{'fused batches':<22} {t.batches}",
         f"{'errors':<22} {t.errors}",
         f"{'batch occupancy':<22} mean {t.occupancy['mean']:.2f}"

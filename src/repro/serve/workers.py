@@ -32,6 +32,29 @@ recompiles byte-for-byte the plan the parent would have built (the
 cross-backend differential test suite asserts equality on raw result
 bytes).  ``close()`` has the same drain semantics for both: pending
 requests complete, then workers exit; submits after close raise.
+
+Temporal super-sweeps
+---------------------
+A request whose sweep-aware plan key carries ``steps > 1`` executes as one
+*super-sweep* inside the worker instead of ``t`` round-trips through the
+batch queue (and, on the process backend, ``t`` IPC grid copies — the
+dominant per-request cost of that path).  Two modes, selected by the
+pool's ``temporal_mode``:
+
+* ``"exact"`` (default) — the batch is advanced ``t`` chained, strictly
+  ordered sweeps through the cached plain plan, intermediates never
+  leaving the worker.  Byte-identical to ``t`` sequential round-trips by
+  construction (same floating-point operations in the same order), for
+  every boundary condition.
+* ``"fused"`` — the worker resolves a *fused* compile plan for the
+  ``t``-fold self-convolved kernel (:func:`~repro.core.temporal.fuse_kernel`)
+  under that kernel's own fingerprint, runs the fused GEMM **once** over
+  the whole batch, and repairs the boundary ring with the plain plan via
+  :func:`~repro.core.temporal.repair_boundary_ring`.  The ring is
+  byte-identical to plain stepping; the interior is mathematically exact
+  but rounds once where plain stepping rounds ``t`` times (last-ulp
+  deviations).  Requires Dirichlet-0 grids large enough for an
+  uncontaminated interior — anything else falls back to exact chaining.
 """
 
 from __future__ import annotations
@@ -46,17 +69,147 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.pipeline import PlanRecipe, SpiderVariant
+from ..core.temporal import fuse_kernel, repair_boundary_ring
 from ..gpu.device import A100_80GB_PCIE, DeviceSpec
 from ..stencil.grid import BoundaryCondition, Grid
 from ..stencil.spec import StencilSpec
 from .batching import BatchQueue, ServeRequest
-from .plan_cache import CacheStats, PlanCache, PlanKey
+from .plan_cache import CacheStats, PlanCache, PlanKey, plan_key_for
 from .telemetry import ServiceTelemetry
 
-__all__ = ["ServeWorker", "WorkerPool", "WORKER_BACKENDS"]
+__all__ = [
+    "ServeWorker",
+    "WorkerPool",
+    "WORKER_BACKENDS",
+    "TEMPORAL_MODES",
+    "execute_serve_batch",
+]
 
 #: Supported ``WorkerPool(backend=...)`` choices.
 WORKER_BACKENDS: Tuple[str, ...] = ("thread", "process")
+
+#: Supported temporal super-sweep execution modes (see module docstring).
+TEMPORAL_MODES: Tuple[str, ...] = ("exact", "fused")
+
+
+def _chain_sweeps(
+    executor, grids: List[Grid], steps: int
+) -> List[np.ndarray]:
+    """Advance a batch ``steps`` chained sweeps through one executor.
+
+    Delegates to :meth:`~repro.core.executor.SpiderExecutor.run_batch_steps`,
+    which is byte-identical to a client resubmitting each result ``steps``
+    times under its own boundary condition (batch composition never
+    perturbs the ordered MAC's numerics) while keeping intermediates in
+    plan-owned buffers.
+    """
+    return executor.run_batch_steps(grids, steps)
+
+
+#: memo of fused-kernel derivation per sweep-aware request key.  Both the
+#: fused spec and its plan key are pure functions of the request key's
+#: content (the fingerprint is a content hash of the kernel), so the memo
+#: is safe process-wide; it spares the hot path ``steps - 1`` kernel
+#: self-convolutions plus a SHA over the (2·t·r+1)^d fused weights per
+#: batch.  Bounded like a cache: cleared wholesale if it ever outgrows
+#: any plausible working set of distinct stencil configurations.
+_FUSED_KEY_MEMO: Dict[PlanKey, Tuple[StencilSpec, PlanKey]] = {}
+
+
+def _fused_spec_and_key(
+    key: PlanKey, spec: StencilSpec
+) -> Tuple[StencilSpec, PlanKey]:
+    memo = _FUSED_KEY_MEMO.get(key)
+    if memo is None:
+        fused_spec = fuse_kernel(spec, key.steps)
+        memo = (
+            fused_spec,
+            plan_key_for(
+                fused_spec,
+                SpiderVariant(key.variant),
+                key.precision,
+                key.tile_key,
+            ),
+        )
+        if len(_FUSED_KEY_MEMO) >= 512:
+            _FUSED_KEY_MEMO.clear()
+        _FUSED_KEY_MEMO[key] = memo
+    return memo
+
+
+def _run_super_sweep(
+    cache: PlanCache,
+    key: PlanKey,
+    spec: StencilSpec,
+    grids: List[Grid],
+    temporal_mode: str,
+) -> List[np.ndarray]:
+    """Execute one ``steps > 1`` batch as a temporal super-sweep."""
+    plain = cache.get_or_build(key.base(), spec=spec)
+    steps = key.steps
+    ring = steps * spec.radius
+    if (
+        temporal_mode != "fused"
+        or any(g.bc is not BoundaryCondition.ZERO for g in grids)
+        or min(grids[0].shape) <= 2 * ring
+    ):
+        # exact mode — and the fused path's fallback for non-Dirichlet
+        # grids or domains too small for an uncontaminated interior
+        return _chain_sweeps(plain.executor, grids, steps)
+    fused_spec, fused_key = _fused_spec_and_key(key, spec)
+    # the fused plan compiles through a steps-carrying PlanRecipe: the
+    # recipe's wire form ships the small base spec, and every consumer
+    # derives byte-identical fused weights (deterministic convolution)
+    recipe = PlanRecipe(
+        spec=spec,
+        precision=key.precision,
+        variant=SpiderVariant(key.variant),
+        device=cache.device,
+        grid_shape=key.tile_key or None,
+        steps=steps,
+    )
+    fused_plan = cache.get_or_build(fused_key, builder=recipe.build)
+    # one fused GEMM across the whole batch, then ring repair with the
+    # plain plan (bit-exact on the ring — see core.temporal), each strip
+    # batched across the whole coalesced batch (all grids share a shape)
+    outs = fused_plan.executor.run_batch_split(grids)
+
+    def plain_steps(datas: List[np.ndarray], t: int) -> List[np.ndarray]:
+        return plain.executor.run_batch_steps(
+            [Grid(d, BoundaryCondition.ZERO) for d in datas], t
+        )
+
+    repair_boundary_ring(
+        [g.data for g in grids],
+        outs,
+        ring,
+        steps,
+        plain_steps,
+        lane_stride=plain.executor.L,
+    )
+    return outs
+
+
+def execute_serve_batch(
+    cache: PlanCache,
+    key: PlanKey,
+    spec: StencilSpec,
+    grids: List[Grid],
+    temporal_mode: str = "exact",
+) -> List[np.ndarray]:
+    """Serve one coalesced batch through a plan cache (all backends).
+
+    This is the single execution path shared by thread-backend workers,
+    process-backend worker mains and the synchronous fallback: resolve
+    the plan(s) for ``key``, run one fused pass — a temporal super-sweep
+    when ``key.steps > 1`` — and return one freshly-owned result array
+    per grid.
+    """
+    if key.steps == 1:
+        plan = cache.get_or_build(key, spec=spec)
+        return plan.executor.run_batch_split(grids)
+    return _run_super_sweep(cache, key, spec, grids, temporal_mode)
 
 
 class ServeWorker(threading.Thread):
@@ -71,6 +224,7 @@ class ServeWorker(threading.Thread):
         device: DeviceSpec = A100_80GB_PCIE,
         telemetry: Optional[ServiceTelemetry] = None,
         clock: Callable[[], float] = time.monotonic,
+        temporal_mode: str = "exact",
     ) -> None:
         super().__init__(name=f"spider-serve-{worker_id}", daemon=True)
         self.worker_id = worker_id
@@ -78,6 +232,7 @@ class ServeWorker(threading.Thread):
         self.cache = cache
         self.device = device
         self.telemetry = telemetry
+        self.temporal_mode = temporal_mode
         self._clock = clock
 
     def run(self) -> None:  # pragma: no cover - exercised via the service
@@ -88,7 +243,7 @@ class ServeWorker(threading.Thread):
             self.process_batch(batch)
 
     def process_batch(self, batch: Sequence[ServeRequest]) -> None:
-        """Compile-or-hit the plan, execute one fused pass, resolve all.
+        """Compile-or-hit the plan(s), execute one fused pass, resolve all.
 
         Every exception is routed to the requests' futures — a worker never
         dies on a bad request.
@@ -96,12 +251,17 @@ class ServeWorker(threading.Thread):
         started = self._clock()
         req0 = batch[0]
         try:
-            plan = self.cache.get_or_build(req0.key, spec=req0.spec)
-            # run_batch_split materializes each result straight from the
-            # plan's workspace accumulator into its own contiguous array,
-            # so callers retaining one result neither pin a whole-batch
-            # buffer nor pay the per-result copy the old path needed
-            outs = plan.executor.run_batch_split([r.grid for r in batch])
+            # execute_serve_batch materializes each result straight from
+            # the plan's workspace accumulator into its own contiguous
+            # array (run_batch_split), and runs steps>1 batches as one
+            # in-worker temporal super-sweep
+            outs = execute_serve_batch(
+                self.cache,
+                req0.key,
+                req0.spec,
+                [r.grid for r in batch],
+                self.temporal_mode,
+            )
         except Exception as exc:
             finished = self._clock()
             for r in batch:
@@ -169,6 +329,7 @@ def _process_worker_main(
     result_q,
     cache_capacity: int,
     device_dict: dict,
+    temporal_mode: str = "exact",
 ) -> None:
     """Worker-process shard loop (module-level so every mp start method —
     fork *and* spawn — can import it).
@@ -197,8 +358,9 @@ def _process_worker_main(
                 Grid(data, BoundaryCondition(bc))
                 for data, bc in grid_payloads
             ]
-            plan = cache.get_or_build(key, spec=spec)
-            outs = plan.executor.run_batch_split(grids)
+            outs = execute_serve_batch(
+                cache, key, spec, grids, temporal_mode
+            )
         except Exception as exc:
             result_q.put(
                 (
@@ -236,6 +398,9 @@ class WorkerPool:
         dispatcher — either way one accumulator aggregates every shard.
     backend:
         ``"thread"`` (default) or ``"process"`` — see the module docstring.
+    temporal_mode:
+        ``"exact"`` (default) or ``"fused"`` — how ``steps > 1`` batches
+        execute their temporal super-sweep (see the module docstring).
     """
 
     def __init__(
@@ -248,6 +413,7 @@ class WorkerPool:
         device: DeviceSpec = A100_80GB_PCIE,
         telemetry: Optional[ServiceTelemetry] = None,
         backend: str = "thread",
+        temporal_mode: str = "exact",
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -256,7 +422,13 @@ class WorkerPool:
                 f"unsupported worker backend {backend!r}; "
                 f"choose one of {WORKER_BACKENDS}"
             )
+        if temporal_mode not in TEMPORAL_MODES:
+            raise ValueError(
+                f"unsupported temporal_mode {temporal_mode!r}; "
+                f"choose one of {TEMPORAL_MODES}"
+            )
         self.backend = backend
+        self.temporal_mode = temporal_mode
         self.telemetry = telemetry
         self.queues: List[BatchQueue] = [
             BatchQueue(max_batch_size=max_batch_size, max_wait_s=max_wait_s)
@@ -274,6 +446,7 @@ class WorkerPool:
                     self.caches[i],
                     device=device,
                     telemetry=telemetry,
+                    temporal_mode=temporal_mode,
                 )
                 for i in range(num_workers)
             ]
@@ -308,6 +481,7 @@ class WorkerPool:
                     self._result_q,
                     self._cache_capacity,
                     device.to_dict(),
+                    temporal_mode,
                 ),
                 name=f"spider-serve-proc-{i}",
                 daemon=True,

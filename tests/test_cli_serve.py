@@ -51,6 +51,56 @@ def test_serve_bench_smoke(capsys):
     assert 0.0 <= payload["cache_hit_rate"] <= 1.0
 
 
+def test_serve_bench_steps_smoke(capsys):
+    rc = main(
+        [
+            "serve-bench",
+            "--requests",
+            "24",
+            "--workers",
+            "2",
+            "--size",
+            "16x16",
+            "--shapes",
+            "heat2d",
+            "--steps",
+            "4",
+            "--json",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "sweeps advanced" in out
+    assert "sweep throughput" in out
+    payload = json.loads(out[out.index("{"):])
+    assert payload["steps"] == 4
+    assert payload["sweeps"] == 24 * 4
+    assert payload["sweeps_per_s"] > payload["throughput_rps"]
+    assert payload["errors"] == 0
+
+
+def test_serve_bench_fused_temporal_mode_smoke(capsys):
+    rc = main(
+        [
+            "serve-bench",
+            "--requests",
+            "16",
+            "--workers",
+            "2",
+            "--size",
+            "24x24",
+            "--shapes",
+            "heat2d",
+            "--steps",
+            "2",
+            "--temporal-mode",
+            "fused",
+        ]
+    )
+    assert rc == 0
+    assert "requests served        16" in capsys.readouterr().out
+
+
 def test_serve_bench_open_loop_smoke(capsys):
     rc = main(
         [

@@ -305,6 +305,38 @@ def test_run_batch_split_results_own_their_memory(rng):
         assert np.array_equal(o, ex.run(g))
 
 
+def test_run_batch_steps_matches_resubmit_chain(rng):
+    """The chained multi-sweep is byte-identical to running one sweep,
+    re-wrapping each result in a Grid with the same BC, and resubmitting —
+    across dims, BCs (the ZERO center-only repad fast path included),
+    batch sizes and precisions."""
+    cases = [(1, (33,)), (2, (12, 18)), (3, (6, 7, 9))]
+    for precision in ("exact", "fp16"):
+        for dims, shape in cases:
+            spec = make_box_kernel(dims, 1, rng)
+            ex = SpiderExecutor(spec, precision)
+            for bc in BoundaryCondition:
+                for batch in (1, 3):
+                    grids = [
+                        Grid.random(shape, rng, bc) for _ in range(batch)
+                    ]
+                    chained = ex.run_batch_steps(grids, 3)
+                    cur = grids
+                    for _ in range(2):
+                        outs = ex.run_batch(cur)
+                        cur = [
+                            Grid(outs[b], bc) for b in range(batch)
+                        ]
+                    expect = ex.run_batch_split(cur)
+                    for a, b in zip(chained, expect):
+                        assert a.dtype == b.dtype
+                        assert a.tobytes() == b.tobytes(), (
+                            precision, dims, bc, batch,
+                        )
+    with pytest.raises(ValueError):
+        ex.run_batch_steps([Grid.random((6, 7, 9), rng)], 0)
+
+
 def test_pad_into_matches_np_pad(rng):
     """The allocation-free halo fill is bitwise np.pad for every BC."""
     for dims, shape in [(1, (13,)), (2, (7, 11)), (3, (5, 6, 7))]:
@@ -322,7 +354,7 @@ def test_pad_into_matches_np_pad(rng):
                 dest = np.full(
                     tuple(s + 2 * r for s in shape[:-1]) + (n2r + 5,), np.nan
                 )
-                ex._pad_into(g, dest)
+                ex._pad_into(g.data, g.bc, dest)
                 assert np.array_equal(dest[..., :n2r], want), (dims, r, bc)
                 assert np.all(dest[..., n2r:] == 0.0)
 
@@ -334,7 +366,7 @@ def test_pad_into_periodic_halo_wider_than_grid(rng):
     g = Grid.random((2, 9), rng, BoundaryCondition.PERIODIC)
     want = g.padded(3)
     dest = np.empty((8, 15 + 9))
-    ex._pad_into(g, dest)
+    ex._pad_into(g.data, g.bc, dest)
     assert np.array_equal(dest[..., :15], want)
 
 

@@ -118,6 +118,35 @@ def test_plan_recipe_roundtrip_and_build():
     )
 
 
+@given(
+    spec=spec_strategy(),
+    steps=st.integers(1, 4),
+    shape=st.sampled_from([(), (32,), (24, 28)]),
+)
+@settings(max_examples=25, deadline=None)
+def test_sweep_aware_key_and_recipe_roundtrip(spec, steps, shape):
+    """The sweep-aware PlanKey and PlanRecipe survive the JSON wire format
+    exactly: equality, steps, and the routing hash (which deliberately
+    ignores steps so super-sweeps share their plain plan's shard)."""
+    key = plan_key_for(spec, grid_shape=shape, steps=steps)
+    again = PlanKey.from_dict(json.loads(json.dumps(key.to_dict())))
+    assert again == key
+    assert again.steps == steps
+    assert again.routing_hash() == key.routing_hash()
+    assert key.routing_hash() == key.base().routing_hash()
+    recipe = PlanRecipe(
+        spec=spec,
+        precision="exact",
+        variant=SpiderVariant.SPTC_CO,
+        device=GENERIC_GPU,
+        grid_shape=shape or None,
+        steps=steps,
+    )
+    again_r = PlanRecipe.from_dict(json.loads(json.dumps(recipe.to_dict())))
+    assert again_r == recipe
+    assert again_r.steps == steps
+
+
 # ----------------------------------------------------------------------
 # pickle = recipe + recompile
 # ----------------------------------------------------------------------

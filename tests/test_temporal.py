@@ -3,7 +3,9 @@
 import numpy as np
 import pytest
 
+from repro.core.pipeline import Spider
 from repro.core.temporal import TemporalSpider, fuse_kernel
+from repro.serve import spec_fingerprint
 from repro.stencil import (
     BoundaryCondition,
     Grid,
@@ -26,6 +28,17 @@ class TestFuseKernel:
         spec = make_box_kernel(2, 2, rng)
         fused = fuse_kernel(spec, 1)
         assert np.allclose(fused.weights, spec.weights)
+
+    def test_one_step_returns_spec_unchanged(self, rng):
+        """Regression: steps=1 used to relabel star stencils as BOX with
+        unchanged weights — a different spec_fingerprint, hence a
+        gratuitous plan-cache miss and recompile for a mathematically
+        identical kernel."""
+        star = make_star_kernel(2, 2, rng)
+        fused = fuse_kernel(star, 1)
+        assert fused is star
+        assert fused.shape is star.shape
+        assert spec_fingerprint(fused) == spec_fingerprint(star)
 
     def test_star_densifies_to_box(self, rng):
         spec = make_star_kernel(2, 1, rng)
@@ -81,6 +94,63 @@ class TestTemporalSpider:
         g = Grid.random((8, 8), rng)
         out = TemporalSpider(spec, steps=2).run(g, 0)
         assert np.array_equal(out.data, g.data)
+
+    def test_zero_steps_returns_fresh_buffer(self, rng):
+        """Regression: the zero-step path returned a Grid aliasing the
+        input's buffer, so mutating the result corrupted the caller's
+        input."""
+        spec = named_stencil("heat2d")
+        g = Grid.random((8, 8), rng)
+        original = g.data.copy()
+        out = TemporalSpider(spec, steps=2).run(g, 0)
+        assert out.data is not g.data
+        out.data[:] = -1.0
+        assert np.array_equal(g.data, original)
+
+    def test_matches_plain_stepping_3d(self, rng):
+        spec = named_stencil("heat3d")
+        g = Grid.random((12, 13, 14), rng)
+        ts = TemporalSpider(spec, steps=2)
+        fused = ts.run(g, total_steps=4)
+        plain, _ = run_iterations(spec, g, 4)
+        assert np.allclose(fused.data, plain.data, atol=1e-9)
+
+    @pytest.mark.parametrize(
+        "name,shape,steps",
+        [
+            ("wave1d", (97,), 2),
+            ("heat2d", (26, 30), 3),
+            ("heat3d", (13, 14, 15), 2),
+        ],
+    )
+    def test_boundary_ring_bit_identical_to_plain(self, rng, name, shape, steps):
+        """The strip recomputation makes the outer t*r ring *byte*-equal
+        to plain SPIDER stepping (the interior rounds once where plain
+        stepping rounds t times, so it may differ in the last ulp)."""
+        spec = named_stencil(name)
+        g = Grid.random(shape, rng)
+        out = TemporalSpider(spec, steps=steps).run(g, steps).data
+        sp = Spider(spec)
+        seq = g.data
+        for _ in range(steps):
+            seq = sp.run(Grid(seq, BoundaryCondition.ZERO))
+        ring = steps * spec.radius
+        interior = tuple(slice(ring, -ring) for _ in shape)
+        mask = np.zeros(shape, dtype=bool)
+        mask[interior] = True
+        assert not ((out != seq) & ~mask).any()
+        np.testing.assert_allclose(out, seq, rtol=0, atol=1e-12)
+
+    def test_small_domain_falls_back_to_plain_stepping(self, rng):
+        spec = named_stencil("heat2d")
+        g = Grid.random((6, 6), rng)  # min side <= 2 * ring for steps=3
+        ts = TemporalSpider(spec, steps=3)
+        out = ts.run(g, 3).data
+        sp = Spider(spec)
+        seq = g.data
+        for _ in range(3):
+            seq = sp.run(Grid(seq, BoundaryCondition.ZERO))
+        assert out.tobytes() == seq.tobytes()
 
     def test_rejects_nonzero_bc(self, rng):
         spec = named_stencil("heat2d")
