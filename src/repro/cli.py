@@ -12,6 +12,7 @@ Usage::
     python -m repro verify --shape Star-2D3R --size 48x64
     python -m repro serve-bench --requests 1000 --workers 4
     python -m repro serve-bench --steps 4 --backend process
+    python -m repro serve-bench --backend process --transport queue
 """
 
 from __future__ import annotations
@@ -138,6 +139,7 @@ def _cmd_serve_bench(args) -> int:
         max_batch_size=args.batch,
         max_wait_s=args.wait_ms / 1e3,
         backend=args.backend,
+        transport=args.transport,
         temporal_mode=args.temporal_mode,
     ) as svc:
         start = time.perf_counter()
@@ -164,6 +166,7 @@ def _cmd_serve_bench(args) -> int:
                     "requests": t.requests,
                     "workers": stats.workers,
                     "backend": stats.backend,
+                    "transport": stats.transport,
                     "steps": args.steps,
                     "temporal_mode": args.temporal_mode,
                     "sweeps": t.sweeps,
@@ -172,6 +175,8 @@ def _cmd_serve_bench(args) -> int:
                     "latency_ms": t.latency_ms,
                     "batch_occupancy": t.occupancy,
                     "cache_hit_rate": stats.cache_hit_rate,
+                    "ipc_payload_bytes": t.ipc_payload_bytes,
+                    "ipc_bytes_per_request": t.ipc_bytes_per_request,
                     "errors": t.errors,
                 },
                 indent=2,
@@ -233,6 +238,16 @@ def build_parser() -> argparse.ArgumentParser:
         default="thread",
         help="worker backend: GIL-sharing threads or per-shard worker "
         "processes (bit-identical results; process scales across cores)",
+    )
+    p.add_argument(
+        "--transport",
+        choices=["shm", "queue"],
+        default="shm",
+        help="process-backend bulk-byte transport: 'shm' moves grids and "
+        "results through shared-memory slabs (descriptor-only queue "
+        "messages, zero-copy in the worker); 'queue' pickles arrays over "
+        "the mp queues (portable fallback); byte-identical results either "
+        "way, ignored by the thread backend",
     )
     p.add_argument("--batch", type=int, default=8, help="max batch size")
     p.add_argument(

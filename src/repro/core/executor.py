@@ -421,7 +421,11 @@ class SpiderExecutor:
         self._run_fused(grids, shape, out)
         return out
 
-    def run_batch_split(self, grids: Sequence[Grid]) -> List[np.ndarray]:
+    def run_batch_split(
+        self,
+        grids: Sequence[Grid],
+        out: Optional[List[np.ndarray]] = None,
+    ) -> List[np.ndarray]:
         """Fused sweep returning one freshly-owned array per request.
 
         Identical numerics to :meth:`run_batch`; the results are written
@@ -429,16 +433,50 @@ class SpiderExecutor:
         contiguous arrays, so a caller retaining one result neither pins a
         whole-batch buffer nor pays a second copy (the serving worker's
         old ``out.copy()``).
+
+        ``out`` supplies the per-request destination arrays instead of
+        allocating fresh ones — the shared-memory transport passes
+        slab-backed views here, so results are materialized directly into
+        shared memory with no intermediate buffer.
         """
         grids, shape = self._validate_batch(grids)
-        outs = [
-            np.empty(shape, dtype=self.acc_dtype) for _ in range(len(grids))
-        ]
+        outs = self._check_out(out, len(grids), shape)
         self._run_fused(grids, shape, outs)
         return outs
 
+    def _check_out(
+        self,
+        out: Optional[List[np.ndarray]],
+        batch: int,
+        shape: Tuple[int, ...],
+    ) -> List[np.ndarray]:
+        """Validate caller-supplied destinations (or allocate fresh ones)."""
+        if out is None:
+            return [
+                np.empty(shape, dtype=self.acc_dtype) for _ in range(batch)
+            ]
+        if len(out) != batch:
+            raise ValueError(
+                f"out supplies {len(out)} arrays for a batch of {batch}"
+            )
+        for o in out:
+            if o.shape != shape or o.dtype != self.acc_dtype:
+                raise ValueError(
+                    f"out arrays must be shape {shape} dtype "
+                    f"{np.dtype(self.acc_dtype)}, got {o.shape} {o.dtype}"
+                )
+            if not o.flags.c_contiguous:
+                # results are written through a reshape view of the
+                # destination; a non-contiguous array would reshape to a
+                # copy and silently never receive the data
+                raise ValueError("out arrays must be C-contiguous")
+        return list(out)
+
     def run_batch_steps(
-        self, grids: Sequence[Grid], steps: int
+        self,
+        grids: Sequence[Grid],
+        steps: int,
+        out: Optional[List[np.ndarray]] = None,
     ) -> List[np.ndarray]:
         """``steps`` chained sweeps of a batch — the temporal super-sweep.
 
@@ -473,9 +511,7 @@ class SpiderExecutor:
             sources = list(zip(views, bcs))
             if all_zero:
                 pad_mode = "center"
-        outs = [
-            np.empty(shape, dtype=self.acc_dtype) for _ in range(len(grids))
-        ]
+        outs = self._check_out(out, len(grids), shape)
         self._sweep_sources(sources, shape, outs, pad_mode)
         return outs
 

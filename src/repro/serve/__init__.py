@@ -11,6 +11,9 @@ requests into batched SpTC passes:
 * :mod:`workers` — sharded worker loops with spec-affinity routing, as
   in-process threads (``backend="thread"``) or per-shard worker processes
   with private plan caches (``backend="process"``, bit-identical results);
+* :mod:`shm` — the process backend's zero-copy shared-memory grid/result
+  transport (``transport="shm"``, default): per-shard slab pairs with a
+  parent-side free-list allocator and generation-tagged descriptors;
 * :mod:`service` — the :class:`StencilService` façade
   (``submit / submit_many / stats / drain``) with a synchronous fallback;
 * :mod:`telemetry` — latency / occupancy / cache-hit histograms feeding
@@ -26,6 +29,7 @@ from .plan_cache import (
     spec_fingerprint,
 )
 from .service import StencilService
+from .shm import BlockRef, SlabAllocator, SlabAttachments, SlabError
 from .telemetry import (
     Histogram,
     ServiceStats,
@@ -36,6 +40,7 @@ from .telemetry import (
 from .workers import (
     TEMPORAL_MODES,
     WORKER_BACKENDS,
+    WORKER_TRANSPORTS,
     ServeWorker,
     WorkerPool,
     execute_serve_batch,
@@ -50,6 +55,10 @@ __all__ = [
     "plan_key_for",
     "spec_fingerprint",
     "StencilService",
+    "BlockRef",
+    "SlabAllocator",
+    "SlabAttachments",
+    "SlabError",
     "Histogram",
     "ServiceStats",
     "ServiceTelemetry",
@@ -58,6 +67,7 @@ __all__ = [
     "ServeWorker",
     "WorkerPool",
     "WORKER_BACKENDS",
+    "WORKER_TRANSPORTS",
     "TEMPORAL_MODES",
     "execute_serve_batch",
 ]

@@ -152,6 +152,12 @@ class CacheStats:
     buffer, X/Y staging, output accumulator per served geometry).  Plans
     carry workspaces since the fused fast path, so cache sizing decisions
     should look at bytes, not just entry counts.
+
+    ``slab_bytes`` is the shard's share of parent-owned shared-memory
+    transport slabs (task + result, see :mod:`repro.serve.shm`) — zero for
+    thread/sync shards and queue-transport pools.  It rides this snapshot
+    because per-shard memory accounting aggregates here; the
+    :class:`PlanCache` itself never allocates slabs.
     """
 
     hits: int
@@ -160,6 +166,7 @@ class CacheStats:
     size: int
     capacity: int
     workspace_bytes: int = 0
+    slab_bytes: int = 0
 
     @property
     def lookups(self) -> int:
@@ -174,7 +181,7 @@ class CacheStats:
     @staticmethod
     def aggregate(parts: Iterable["CacheStats"]) -> "CacheStats":
         """Sum counters across shards (per-worker caches)."""
-        hits = misses = evictions = size = capacity = wbytes = 0
+        hits = misses = evictions = size = capacity = wbytes = sbytes = 0
         for p in parts:
             hits += p.hits
             misses += p.misses
@@ -182,7 +189,10 @@ class CacheStats:
             size += p.size
             capacity += p.capacity
             wbytes += p.workspace_bytes
-        return CacheStats(hits, misses, evictions, size, capacity, wbytes)
+            sbytes += p.slab_bytes
+        return CacheStats(
+            hits, misses, evictions, size, capacity, wbytes, sbytes
+        )
 
 
 class PlanCache:

@@ -37,7 +37,12 @@ from ..stencil.spec import StencilSpec
 from .batching import ServeRequest
 from .plan_cache import CacheStats, PlanCache, plan_key_for
 from .telemetry import ServiceStats, ServiceTelemetry, format_service_report
-from .workers import TEMPORAL_MODES, WorkerPool, execute_serve_batch
+from .workers import (
+    TEMPORAL_MODES,
+    WORKER_TRANSPORTS,
+    WorkerPool,
+    execute_serve_batch,
+)
 
 __all__ = ["StencilService"]
 
@@ -65,6 +70,13 @@ class StencilService:
         across backends; ``"process"`` escapes the GIL entirely (per-shard
         worker processes with private plan caches), the right choice on
         multi-core hosts.  Ignored when ``workers == 0``.
+    transport:
+        How the process backend moves bulk grid/result bytes: ``"shm"``
+        (default) writes them through per-shard shared-memory slabs and
+        pipes only descriptors — zero-copy on the worker side; ``"queue"``
+        pickles arrays over the mp queues (portable fallback).  Results
+        are byte-identical either way.  Ignored by thread/sync backends,
+        which share an address space.
     temporal_mode:
         How multi-sweep requests (``submit(..., steps=t)``) execute their
         temporal super-sweep: ``"exact"`` (default) chains ``t`` ordered
@@ -86,10 +98,16 @@ class StencilService:
         variant: SpiderVariant = SpiderVariant.SPTC_CO,
         device: DeviceSpec = A100_80GB_PCIE,
         backend: str = "thread",
+        transport: str = "shm",
         temporal_mode: str = "exact",
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        if transport not in WORKER_TRANSPORTS:
+            raise ValueError(
+                f"unsupported transport {transport!r}; "
+                f"choose one of {WORKER_TRANSPORTS}"
+            )
         if temporal_mode not in TEMPORAL_MODES:
             raise ValueError(
                 f"unsupported temporal_mode {temporal_mode!r}; "
@@ -99,6 +117,9 @@ class StencilService:
         self.variant = variant
         self.device = device
         self.backend = backend if workers > 0 else "sync"
+        self.transport = (
+            transport if (workers > 0 and backend == "process") else "local"
+        )
         self.temporal_mode = temporal_mode
         self._telemetry = ServiceTelemetry()
         self._clock = time.monotonic
@@ -119,6 +140,7 @@ class StencilService:
                 device=device,
                 telemetry=self._telemetry,
                 backend=backend,
+                transport=transport,
                 temporal_mode=temporal_mode,
             )
         else:
@@ -284,6 +306,7 @@ class StencilService:
             cache=CacheStats.aggregate(per_worker),
             per_worker_cache=per_worker,
             backend=self.backend,
+            transport=self.transport,
         )
 
     def format_report(self) -> str:

@@ -1,0 +1,496 @@
+"""Shared-memory slab transport for the process worker backend.
+
+The queue transport pickles every grid into a ``multiprocessing`` pipe and
+every result back out of one — three buffer copies plus two syscall-bound
+pipe traversals per direction, which the serving benchmarks identify as
+the dominant per-request cost of the process path on IPC-bound hosts.
+This module provides the zero-copy alternative: per-shard
+:class:`multiprocessing.shared_memory.SharedMemory` slabs whose *blocks*
+are handed out by a parent-side free-list allocator.  The feeder packs a
+whole coalesced batch (same plan key, hence same shape and dtype) into
+one task-slab block and ships only a tiny descriptor
+``(segment, offset, nbytes, generation)``; the worker wraps zero-copy
+ndarray views over the block (the executor pads from them directly), runs
+the batch, and writes the final results straight into a pre-reserved
+result-slab block via the executor's ``out=`` destinations — so bulk
+array bytes never cross a pipe in either direction.  Batch-granular
+blocks keep the allocator off the per-request path: one alloc/write/read/
+free cycle per direction per *batch*.
+
+Ownership is deliberately one-sided: **only the parent allocates and
+frees**.  Workers never mutate allocator state, so there is no shared
+free list to synchronize — the task queue's FIFO ordering is the only
+protocol.  Misuse (a stale or double-freed descriptor) is caught by
+*generation tags*: every block carries an 8-byte generation stamp in a
+header line inside the slab, written at allocation and poisoned at free;
+both sides validate the stamp against the descriptor before touching the
+data, so a protocol bug surfaces as an explicit error on one batch, never
+as silent corruption of another request's bytes.
+
+Lifecycle: the allocator grows by appending geometrically larger segments
+(attach-by-name keeps every start method — fork, forkserver, spawn —
+working) up to a byte cap; an allocation that cannot fit falls back to
+the pickled queue path at the call site.  ``close()`` unlinks every
+segment.  Attaching processes must keep their ``resource_tracker`` out of
+the loop entirely (see :class:`SlabAttachments`): before Python 3.13 an
+attach re-registers the name, and with fork/forkserver the tracker is
+*shared* with the parent, so either the stray registration or a
+compensating unregister corrupts the parent's own cleanup accounting.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BlockRef",
+    "SlabAllocator",
+    "SlabAttachments",
+    "SlabError",
+]
+
+#: Block header: one cache line holding the 8-byte generation stamp (the
+#: remainder is padding so the data region starts cache-line aligned).
+_HEADER_BYTES = 64
+
+#: Allocation granularity — blocks start and end on cache-line multiples.
+_ALIGN = 64
+
+#: Header stamp of a freed block; no live generation ever equals it
+#: (generations count up from 1).
+_POISON = (1 << 64) - 1
+
+_GEN_STRUCT = struct.Struct("<Q")
+
+
+class SlabError(RuntimeError):
+    """A shared-memory transport protocol violation (stale descriptor,
+    generation mismatch, segment gone).  Fails the offending batch only."""
+
+
+class BlockRef(NamedTuple):
+    """Descriptor of one slab block — the only thing that crosses the
+    task/result queues for a shared-memory payload.
+
+    ``segment`` is the :class:`SharedMemory` name (attach-by-name works
+    under every start method), ``offset`` addresses the *data* region
+    (the generation header sits in the line just below it), ``nbytes``
+    is the payload size and ``generation`` the allocation stamp both
+    sides validate before touching the bytes.
+    """
+
+    segment: str
+    offset: int
+    nbytes: int
+    generation: int
+
+
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class _Segment:
+    """One shared-memory segment plus its free list (parent side).
+
+    The free list is a sorted list of ``(offset, size)`` holes; frees
+    coalesce with both neighbours, so steady-state serving (allocate a
+    batch, free a batch) cannot fragment the slab over time.
+    """
+
+    def __init__(self, nbytes: int) -> None:
+        self.shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self.size = nbytes
+        self.free_list: List[Tuple[int, int]] = [(0, nbytes)]
+        self.live_blocks = 0
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    def alloc(self, nbytes: int) -> Optional[int]:
+        """First-fit: the start offset of a ``nbytes`` hole, or None."""
+        for i, (off, size) in enumerate(self.free_list):
+            if size >= nbytes:
+                if size == nbytes:
+                    del self.free_list[i]
+                else:
+                    self.free_list[i] = (off + nbytes, size - nbytes)
+                self.live_blocks += 1
+                return off
+        return None
+
+    def free(self, offset: int, nbytes: int) -> None:
+        """Return a block, coalescing with adjacent holes."""
+        lo = 0
+        hi = len(self.free_list)
+        while lo < hi:  # insertion point by offset
+            mid = (lo + hi) // 2
+            if self.free_list[mid][0] < offset:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.free_list.insert(lo, (offset, nbytes))
+        if lo + 1 < len(self.free_list):
+            off, size = self.free_list[lo]
+            nxt_off, nxt_size = self.free_list[lo + 1]
+            if off + size == nxt_off:
+                self.free_list[lo] = (off, size + nxt_size)
+                del self.free_list[lo + 1]
+        if lo > 0:
+            prv_off, prv_size = self.free_list[lo - 1]
+            off, size = self.free_list[lo]
+            if prv_off + prv_size == off:
+                self.free_list[lo - 1] = (prv_off, prv_size + size)
+                del self.free_list[lo]
+        self.live_blocks -= 1
+
+
+class SlabAllocator:
+    """Parent-side free-list allocator over a growable set of segments.
+
+    Parameters
+    ----------
+    initial_bytes:
+        Size of the first segment (created lazily on first allocation, so
+        a queue-transport pool never touches ``/dev/shm``).
+    max_bytes:
+        Hard cap on the summed segment sizes.  An allocation that cannot
+        fit under the cap returns ``None`` — the transport's cue to fall
+        back to the pickled queue path for that payload.  The default is
+        deliberately tight (8 MiB): :meth:`alloc_blocking` turns a full
+        slab into backpressure, so the cap bounds the *in-flight* bytes,
+        and a small ring of hot, constantly-reused blocks stays resident
+        in cache where a sprawling slab would cycle through cold pages
+        (measurably slower than the pickle path it replaces).
+
+    Thread safety: the feeder allocates, the dispatcher frees and
+    ``close()`` runs on the closing thread, so every public method takes
+    the allocator lock.
+    """
+
+    def __init__(
+        self,
+        initial_bytes: int = 1 << 20,
+        max_bytes: int = 8 << 20,
+    ) -> None:
+        if initial_bytes < _HEADER_BYTES + _ALIGN:
+            raise ValueError(
+                f"initial_bytes must be >= {_HEADER_BYTES + _ALIGN}, "
+                f"got {initial_bytes}"
+            )
+        if max_bytes < initial_bytes:
+            raise ValueError(
+                f"max_bytes ({max_bytes}) must be >= initial_bytes "
+                f"({initial_bytes})"
+            )
+        self.initial_bytes = int(initial_bytes)
+        self.max_bytes = int(max_bytes)
+        self._segments: Dict[str, _Segment] = {}
+        # a Condition, not a bare lock: free() and close() notify waiters
+        # so alloc_blocking() can implement slab backpressure
+        self._lock = threading.Condition()
+        self._generation = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of shared memory currently reserved (all segments)."""
+        with self._lock:
+            return sum(s.size for s in self._segments.values())
+
+    def segment_names(self) -> List[str]:
+        """Names of the live segments (tests assert these are unlinked)."""
+        with self._lock:
+            return [s.name for s in self._segments.values()]
+
+    @property
+    def live_blocks(self) -> int:
+        """Blocks currently handed out (in-flight batches hold them)."""
+        with self._lock:
+            return sum(s.live_blocks for s in self._segments.values())
+
+    # ------------------------------------------------------------------
+    def alloc(self, nbytes: int) -> Optional[BlockRef]:
+        """Reserve a block for a ``nbytes`` payload; None when it cannot
+        fit under ``max_bytes`` (the caller's queue-fallback cue).
+
+        The block's generation is stamped into its in-slab header before
+        the descriptor is returned, so a reader that beats the payload
+        write still sees a *valid* stamp (FIFO task queues make that
+        impossible anyway — this is defense in depth).
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        span = _HEADER_BYTES + _align(max(nbytes, 1))
+        with self._lock:
+            if self._closed:
+                return None
+            return self._try_alloc_locked(nbytes, span)
+
+    def _try_alloc_locked(
+        self, nbytes: int, span: int
+    ) -> Optional[BlockRef]:
+        for seg in self._segments.values():
+            off = seg.alloc(span)
+            if off is not None:
+                return self._stamp(seg, off, nbytes)
+        seg = self._grow(span)
+        if seg is None:
+            return None
+        off = seg.alloc(span)
+        assert off is not None  # fresh segment sized to fit
+        return self._stamp(seg, off, nbytes)
+
+    def alloc_blocking(
+        self,
+        nbytes: int,
+        should_abort=None,
+        poll_s: float = 0.05,
+    ) -> Optional[BlockRef]:
+        """Like :meth:`alloc`, but a *transiently* full slab applies
+        backpressure instead of failing.
+
+        A burst of submissions can reserve blocks faster than workers
+        retire them; falling back to the pickled queue path there would
+        silently forfeit the zero-copy win exactly under load.  So: while
+        the slab holds live blocks (frees are coming — every in-flight
+        batch returns its blocks when its result is dispatched), wait for
+        a free and retry.  The failed attempt and the wait share one
+        critical section, so a free landing in between cannot be a missed
+        wakeup (``poll_s`` only bounds how often ``should_abort`` is
+        re-polled).  Return ``None`` — the genuine fallback cue — only
+        when the payload cannot fit in an *empty* slab (oversized grid
+        vs. the byte cap), the allocator is closed, or ``should_abort()``
+        reports the shard is dead (its blocks would never be freed by a
+        result).
+        """
+        span = _HEADER_BYTES + _align(max(nbytes, 1))
+        while True:
+            with self._lock:
+                if self._closed or span > self.max_bytes:
+                    return None
+                block = self._try_alloc_locked(nbytes, span)
+                if block is not None:
+                    return block
+                live = sum(
+                    s.live_blocks for s in self._segments.values()
+                )
+                if live == 0:
+                    # empty yet unallocatable: capped out or fragmented
+                    # across undersized segments — a wait cannot help
+                    return None
+                self._lock.wait(poll_s)
+            if should_abort is not None and should_abort():
+                return None
+
+    def _grow(self, span: int) -> Optional[_Segment]:
+        """Append a geometrically larger segment (callers hold the lock)."""
+        total = sum(s.size for s in self._segments.values())
+        largest = max((s.size for s in self._segments.values()), default=0)
+        want = max(self.initial_bytes, 2 * largest, span)
+        if total + want > self.max_bytes:
+            want = max(span, self.max_bytes - total)
+        if span > want or total + want > self.max_bytes:
+            return None
+        seg = _Segment(want)
+        self._segments[seg.name] = seg
+        return seg
+
+    def _stamp(self, seg: _Segment, off: int, nbytes: int) -> BlockRef:
+        self._generation += 1
+        _GEN_STRUCT.pack_into(seg.shm.buf, off, self._generation)
+        return BlockRef(
+            seg.name, off + _HEADER_BYTES, nbytes, self._generation
+        )
+
+    # ------------------------------------------------------------------
+    def buffer(self, block: BlockRef, validate: bool = True) -> memoryview:
+        """The block's data bytes as a writable memoryview.
+
+        With ``validate`` the in-slab generation stamp must match the
+        descriptor — a freed (poisoned) or recycled (restamped) block
+        raises :class:`SlabError` instead of exposing foreign bytes.
+        Callers must drop the view before the allocator can close.
+        """
+        head = block.offset - _HEADER_BYTES
+        with self._lock:
+            seg = self._segments.get(block.segment)
+            if seg is None or self._closed:
+                raise SlabError(
+                    f"shm segment {block.segment!r} is not live in this "
+                    "allocator"
+                )
+            if validate:
+                (gen,) = _GEN_STRUCT.unpack_from(seg.shm.buf, head)
+                if gen != block.generation:
+                    raise SlabError(
+                        f"stale shm descriptor for {block.segment!r}@"
+                        f"{block.offset}: block generation {gen} != "
+                        f"descriptor generation {block.generation}"
+                    )
+            return seg.shm.buf[block.offset : block.offset + block.nbytes]
+
+    def read_batch(
+        self, block: BlockRef, shape: Tuple[int, ...], dtype
+    ) -> List[np.ndarray]:
+        """Copy a ``(B, *grid)`` batch block out as B freshly-owned arrays.
+
+        The dispatcher's result materialization: one generation-validated
+        buffer fetch, then one memcpy per request — after which each
+        caller's array is independent of slab lifetime (results must
+        outlive the service, slabs must not)."""
+        buf = self.buffer(block)
+        try:
+            batch = np.frombuffer(buf, dtype=dtype).reshape(shape)
+            outs = [np.array(batch[b]) for b in range(shape[0])]
+            del batch
+            return outs
+        finally:
+            del buf  # release the exported pointer before close()
+
+    def write_batch(
+        self, block: BlockRef, arrays: Sequence[np.ndarray]
+    ) -> None:
+        """Pack same-shape arrays contiguously into one batch block (the
+        feeder's single write per request: grid bytes -> shared memory)."""
+        total = sum(a.nbytes for a in arrays)
+        if total != block.nbytes:
+            raise SlabError(
+                f"batch payload is {total} bytes but block holds "
+                f"{block.nbytes}"
+            )
+        buf = self.buffer(block)
+        try:
+            batch = np.frombuffer(buf, dtype=arrays[0].dtype).reshape(
+                (len(arrays),) + arrays[0].shape
+            )
+            for b, a in enumerate(arrays):
+                np.copyto(batch[b], a)
+            del batch
+        finally:
+            del buf
+
+    def free(self, block: Optional[BlockRef]) -> None:
+        """Return a block to the free list, poisoning its generation stamp
+        so any descriptor still naming it fails validation.  ``None`` and
+        already-closed allocators are tolerated (shutdown paths)."""
+        if block is None:
+            return
+        head = block.offset - _HEADER_BYTES
+        with self._lock:
+            seg = self._segments.get(block.segment)
+            if seg is None or self._closed:
+                return
+            (gen,) = _GEN_STRUCT.unpack_from(seg.shm.buf, head)
+            if gen != block.generation:
+                raise SlabError(
+                    f"double free / stale free of {block.segment!r}@"
+                    f"{block.offset}: block generation {gen} != "
+                    f"descriptor generation {block.generation}"
+                )
+            _GEN_STRUCT.pack_into(seg.shm.buf, head, _POISON)
+            seg.free(head, _HEADER_BYTES + _align(max(block.nbytes, 1)))
+            self._lock.notify_all()  # wake alloc_blocking backpressure
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unlink every segment (idempotent).
+
+        Unlink is ordered before the mmap close so the ``/dev/shm`` entry
+        disappears even if a straggling exported view briefly blocks the
+        close — the kernel frees the pages once the last map drops."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            segments = list(self._segments.values())
+            self._segments.clear()
+            self._lock.notify_all()  # release any backpressure waiters
+        for seg in segments:
+            seg.shm.unlink()
+            try:
+                seg.shm.close()
+            except BufferError:  # pragma: no cover - defensive
+                pass
+
+
+class SlabAttachments:
+    """Worker-side cache of attached segments (attach-by-name, lazily).
+
+    Attaching must leave this process's ``resource_tracker`` untouched:
+    before Python 3.13 a plain attach *registers* the name, and because
+    workers can share the parent's tracker process (fork/forkserver),
+    either the stray registration (a dying worker's tracker unlinking the
+    parent's live segments) or a compensating ``unregister`` (evicting
+    the *parent's* registration from the shared tracker) corrupts
+    cleanup.  The attach therefore runs with ``register`` swapped for a
+    no-op — the Python 3.13 ``track=False`` semantics, backported.  The
+    parent remains the single owner; workers only map and unmap.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+
+    @staticmethod
+    def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+    def _attach(self, name: str) -> shared_memory.SharedMemory:
+        seg = self._segments.get(name)
+        if seg is None:
+            try:
+                seg = self._attach_untracked(name)
+            except FileNotFoundError:
+                raise SlabError(
+                    f"shm segment {name!r} has been unlinked (stale "
+                    "descriptor or closed pool)"
+                ) from None
+            self._segments[name] = seg
+        return seg
+
+    def view(
+        self, block: BlockRef, shape: Tuple[int, ...], dtype
+    ) -> np.ndarray:
+        """Zero-copy ndarray over the block, generation-validated.
+
+        The returned array aliases slab memory: valid until the parent
+        frees the block (which, by protocol, happens only after this
+        batch's result message is processed)."""
+        seg = self._attach(block.segment)
+        (gen,) = _GEN_STRUCT.unpack_from(
+            seg.buf, block.offset - _HEADER_BYTES
+        )
+        if gen != block.generation:
+            raise SlabError(
+                f"stale shm descriptor for {block.segment!r}@"
+                f"{block.offset}: block generation {gen} != descriptor "
+                f"generation {block.generation}"
+            )
+        n = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        return np.frombuffer(
+            seg.buf, dtype=dtype, count=n, offset=block.offset
+        ).reshape(shape)
+
+    def close(self) -> None:
+        """Unmap every attached segment (worker exit path).
+
+        Views handed out by :meth:`view` may still be referenced by
+        about-to-die frames; a :class:`BufferError` from such a straggler
+        is swallowed — process exit unmaps unconditionally anyway."""
+        for seg in self._segments.values():
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover - straggling views
+                pass
+        self._segments.clear()

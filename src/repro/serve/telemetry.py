@@ -99,10 +99,21 @@ class TelemetrySnapshot:
     queue_wait_ms: Dict[str, float]
     service_ms: Dict[str, float]
     sweeps: int = 0
+    #: bulk grid/result payload bytes that crossed an IPC pipe (pickled
+    #: mp-queue payloads).  Thread/sync backends never pipe, and the shm
+    #: transport ships descriptors only, so this is ~0 everywhere except
+    #: the process backend's queue transport — which is exactly what makes
+    #: the shm win visible in traffic stats, not just benchmarks.
+    ipc_payload_bytes: int = 0
 
     @property
     def mean_occupancy(self) -> float:
         return self.occupancy["mean"]
+
+    @property
+    def ipc_bytes_per_request(self) -> float:
+        """Mean piped payload bytes per served request."""
+        return self.ipc_payload_bytes / self.requests if self.requests else 0.0
 
 
 class ServiceTelemetry:
@@ -114,6 +125,7 @@ class ServiceTelemetry:
         self._sweeps = 0
         self._batches = 0
         self._errors = 0
+        self._ipc_payload_bytes = 0
         self._latency_s = Histogram()
         self._queue_wait_s = Histogram()
         self._occupancy = Histogram()
@@ -139,6 +151,13 @@ class ServiceTelemetry:
         with self._lock:
             self._errors += len(requests)
 
+    def record_ipc(self, payload_bytes: int) -> None:
+        """Account bulk payload bytes that crossed an IPC pipe (both
+        directions; the process backend's feeder and dispatcher call this
+        for pickled-array payloads — shm descriptors don't count)."""
+        with self._lock:
+            self._ipc_payload_bytes += int(payload_bytes)
+
     def snapshot(self) -> TelemetrySnapshot:
         with self._lock:
             return TelemetrySnapshot(
@@ -146,6 +165,7 @@ class ServiceTelemetry:
                 batches=self._batches,
                 errors=self._errors,
                 sweeps=self._sweeps,
+                ipc_payload_bytes=self._ipc_payload_bytes,
                 occupancy=self._occupancy.summary(),
                 latency_ms=self._latency_s.summary(scale=1e3),
                 queue_wait_ms=self._queue_wait_s.summary(scale=1e3),
@@ -172,6 +192,9 @@ class ServiceStats:
     cache: CacheStats
     per_worker_cache: Tuple[CacheStats, ...] = field(default_factory=tuple)
     backend: str = "thread"
+    #: bulk-byte transport of the process backend ("shm"/"queue");
+    #: "local" for backends that share an address space (thread, sync)
+    transport: str = "local"
 
     @property
     def cache_hit_rate(self) -> float:
@@ -181,14 +204,19 @@ class ServiceStats:
 def format_service_report(stats: ServiceStats) -> str:
     """Fixed-width serving report (analysis-table style)."""
     t = stats.telemetry
+    backend = stats.backend
+    if stats.transport != "local":
+        backend = f"{backend}/{stats.transport}"
     lines = [
-        f"{'workers':<22} {stats.workers} ({stats.backend})",
+        f"{'workers':<22} {stats.workers} ({backend})",
         f"{'requests served':<22} {t.requests}",
         f"{'sweeps advanced':<22} {t.sweeps}",
         f"{'fused batches':<22} {t.batches}",
         f"{'errors':<22} {t.errors}",
         f"{'batch occupancy':<22} mean {t.occupancy['mean']:.2f}"
         f"  max {t.occupancy['max']:.0f}",
+        f"{'IPC payload':<22} {t.ipc_payload_bytes / 1e6:.2f} MB piped"
+        f"  ({t.ipc_bytes_per_request:.0f} B/request)",
         f"{'plan cache':<22} hits {stats.cache.hits}"
         f"  misses {stats.cache.misses}"
         f"  evictions {stats.cache.evictions}"
@@ -196,6 +224,11 @@ def format_service_report(stats: ServiceStats) -> str:
         f"{'plan workspaces':<22} "
         f"{stats.cache.workspace_bytes / 1e6:.2f} MB resident",
     ]
+    if stats.cache.slab_bytes:
+        lines.append(
+            f"{'shm slabs':<22} "
+            f"{stats.cache.slab_bytes / 1e6:.2f} MB reserved"
+        )
     for label, h in (
         ("latency (ms)", t.latency_ms),
         ("queue wait (ms)", t.queue_wait_ms),

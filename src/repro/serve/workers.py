@@ -17,14 +17,33 @@ Two interchangeable backends implement the shard loop:
 * ``backend="process"`` — one worker **process** per shard.  Coalescing
   and routing stay in the parent (identical batching semantics); each
   coalesced batch crosses a ``multiprocessing`` queue as pure data
-  (request ids, the plan key and spec as dicts, contiguous grid arrays),
-  the worker compiles-or-hits its **private in-process PlanCache** —
-  compile plans are reconstructible from their
-  :class:`~repro.core.pipeline.PlanRecipe`, which is what makes the spec
-  dict sufficient — and result arrays travel back on a shared response
-  queue.  A dispatcher thread in the parent resolves futures and records
-  telemetry, so :class:`~repro.serve.telemetry.ServiceTelemetry` and cache
-  statistics aggregate across processes exactly as they do across threads.
+  (request ids, the plan key and spec as dicts, parent-side submit
+  timestamps, and one payload per grid), the worker compiles-or-hits its
+  **private in-process PlanCache** — compile plans are reconstructible
+  from their :class:`~repro.core.pipeline.PlanRecipe`, which is what
+  makes the spec dict sufficient.  A dispatcher thread in the parent
+  resolves futures and records telemetry, so
+  :class:`~repro.serve.telemetry.ServiceTelemetry` and cache statistics
+  aggregate across processes exactly as they do across threads.
+
+  How the bulk grid/result bytes travel is the pool's ``transport``:
+
+  * ``transport="shm"`` (default) — per-shard shared-memory slab pairs
+    (:mod:`repro.serve.shm`).  The feeder writes each grid straight into
+    a task-slab block and enqueues only a generation-tagged descriptor;
+    the worker wraps a zero-copy ndarray view over the block and the
+    executor materializes results directly into pre-reserved result-slab
+    blocks (``out=`` destinations), so the result message is descriptors
+    too.  Bulk bytes never cross a pipe.  Grids that cannot fit under
+    the slab byte cap fall back to the queue payload per request, so
+    correctness never depends on slab capacity.
+  * ``transport="queue"`` — every payload rides the mp queue as a pickled
+    contiguous array (the pre-slab behaviour, kept as the portable
+    fallback and as the differential baseline the benchmarks compare
+    against).
+
+  Both transports are byte-identical by construction: the transport moves
+  bits, the executor math never changes.
 
 Both backends are **bit-identical**: batch composition never perturbs the
 fused pipeline's numerics (strictly ordered MAC), and a worker process
@@ -59,12 +78,14 @@ pool's ``temporal_mode``:
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import pickle
 import queue as std_queue
 import threading
 import time
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -72,16 +93,19 @@ import numpy as np
 from ..core.pipeline import PlanRecipe, SpiderVariant
 from ..core.temporal import fuse_kernel, repair_boundary_ring
 from ..gpu.device import A100_80GB_PCIE, DeviceSpec
+from ..sptc.mma import MmaPrecision
 from ..stencil.grid import BoundaryCondition, Grid
 from ..stencil.spec import StencilSpec
 from .batching import BatchQueue, ServeRequest
 from .plan_cache import CacheStats, PlanCache, PlanKey, plan_key_for
+from .shm import BlockRef, SlabAllocator, SlabAttachments
 from .telemetry import ServiceTelemetry
 
 __all__ = [
     "ServeWorker",
     "WorkerPool",
     "WORKER_BACKENDS",
+    "WORKER_TRANSPORTS",
     "TEMPORAL_MODES",
     "execute_serve_batch",
 ]
@@ -89,12 +113,26 @@ __all__ = [
 #: Supported ``WorkerPool(backend=...)`` choices.
 WORKER_BACKENDS: Tuple[str, ...] = ("thread", "process")
 
+#: Supported process-backend grid/result transports (module docstring).
+WORKER_TRANSPORTS: Tuple[str, ...] = ("shm", "queue")
+
 #: Supported temporal super-sweep execution modes (see module docstring).
 TEMPORAL_MODES: Tuple[str, ...] = ("exact", "fused")
 
 
+def _result_dtype(precision: str) -> np.dtype:
+    """Output dtype of a served sweep (the executor's ``acc_dtype``) —
+    needed parent-side to reserve result-slab blocks before compiling."""
+    return np.dtype(
+        np.float32 if precision == MmaPrecision.FP16 else np.float64
+    )
+
+
 def _chain_sweeps(
-    executor, grids: List[Grid], steps: int
+    executor,
+    grids: List[Grid],
+    steps: int,
+    out: Optional[List[np.ndarray]] = None,
 ) -> List[np.ndarray]:
     """Advance a batch ``steps`` chained sweeps through one executor.
 
@@ -104,7 +142,7 @@ def _chain_sweeps(
     perturbs the ordered MAC's numerics) while keeping intermediates in
     plan-owned buffers.
     """
-    return executor.run_batch_steps(grids, steps)
+    return executor.run_batch_steps(grids, steps, out=out)
 
 
 #: memo of fused-kernel derivation per sweep-aware request key.  Both the
@@ -112,29 +150,44 @@ def _chain_sweeps(
 #: content (the fingerprint is a content hash of the kernel), so the memo
 #: is safe process-wide; it spares the hot path ``steps - 1`` kernel
 #: self-convolutions plus a SHA over the (2·t·r+1)^d fused weights per
-#: batch.  Bounded like a cache: cleared wholesale if it ever outgrows
-#: any plausible working set of distinct stencil configurations.
-_FUSED_KEY_MEMO: Dict[PlanKey, Tuple[StencilSpec, PlanKey]] = {}
+#: batch.  Bounded like a cache with true LRU eviction: a wholesale clear
+#: at capacity would trigger a recompute storm of kernel
+#: self-convolutions exactly when the working set of distinct stencil
+#: configurations is largest — evicting only the coldest key keeps every
+#: hot key's derivation resident.
+_FUSED_KEY_MEMO: "OrderedDict[PlanKey, Tuple[StencilSpec, PlanKey]]" = (
+    OrderedDict()
+)
+_FUSED_KEY_MEMO_CAPACITY = 512
+_FUSED_KEY_MEMO_LOCK = threading.Lock()
 
 
 def _fused_spec_and_key(
     key: PlanKey, spec: StencilSpec
 ) -> Tuple[StencilSpec, PlanKey]:
-    memo = _FUSED_KEY_MEMO.get(key)
-    if memo is None:
-        fused_spec = fuse_kernel(spec, key.steps)
-        memo = (
+    with _FUSED_KEY_MEMO_LOCK:
+        memo = _FUSED_KEY_MEMO.get(key)
+        if memo is not None:
+            _FUSED_KEY_MEMO.move_to_end(key)
+            return memo
+    # derive outside the lock (a convolution + SHA, potentially slow);
+    # concurrent shards may race to derive the same key — the results are
+    # deterministic, so last-write-wins is harmless
+    fused_spec = fuse_kernel(spec, key.steps)
+    memo = (
+        fused_spec,
+        plan_key_for(
             fused_spec,
-            plan_key_for(
-                fused_spec,
-                SpiderVariant(key.variant),
-                key.precision,
-                key.tile_key,
-            ),
-        )
-        if len(_FUSED_KEY_MEMO) >= 512:
-            _FUSED_KEY_MEMO.clear()
+            SpiderVariant(key.variant),
+            key.precision,
+            key.tile_key,
+        ),
+    )
+    with _FUSED_KEY_MEMO_LOCK:
         _FUSED_KEY_MEMO[key] = memo
+        _FUSED_KEY_MEMO.move_to_end(key)
+        while len(_FUSED_KEY_MEMO) > _FUSED_KEY_MEMO_CAPACITY:
+            _FUSED_KEY_MEMO.popitem(last=False)
     return memo
 
 
@@ -144,6 +197,7 @@ def _run_super_sweep(
     spec: StencilSpec,
     grids: List[Grid],
     temporal_mode: str,
+    out: Optional[List[np.ndarray]] = None,
 ) -> List[np.ndarray]:
     """Execute one ``steps > 1`` batch as a temporal super-sweep."""
     plain = cache.get_or_build(key.base(), spec=spec)
@@ -156,7 +210,7 @@ def _run_super_sweep(
     ):
         # exact mode — and the fused path's fallback for non-Dirichlet
         # grids or domains too small for an uncontaminated interior
-        return _chain_sweeps(plain.executor, grids, steps)
+        return _chain_sweeps(plain.executor, grids, steps, out)
     fused_spec, fused_key = _fused_spec_and_key(key, spec)
     # the fused plan compiles through a steps-carrying PlanRecipe: the
     # recipe's wire form ships the small base spec, and every consumer
@@ -172,8 +226,10 @@ def _run_super_sweep(
     fused_plan = cache.get_or_build(fused_key, builder=recipe.build)
     # one fused GEMM across the whole batch, then ring repair with the
     # plain plan (bit-exact on the ring — see core.temporal), each strip
-    # batched across the whole coalesced batch (all grids share a shape)
-    outs = fused_plan.executor.run_batch_split(grids)
+    # batched across the whole coalesced batch (all grids share a shape);
+    # caller-supplied destinations (shm result blocks) receive the fused
+    # interior directly and the ring repair patches them in place
+    outs = fused_plan.executor.run_batch_split(grids, out=out)
 
     def plain_steps(datas: List[np.ndarray], t: int) -> List[np.ndarray]:
         return plain.executor.run_batch_steps(
@@ -197,6 +253,7 @@ def execute_serve_batch(
     spec: StencilSpec,
     grids: List[Grid],
     temporal_mode: str = "exact",
+    out: Optional[List[np.ndarray]] = None,
 ) -> List[np.ndarray]:
     """Serve one coalesced batch through a plan cache (all backends).
 
@@ -204,12 +261,14 @@ def execute_serve_batch(
     process-backend worker mains and the synchronous fallback: resolve
     the plan(s) for ``key``, run one fused pass — a temporal super-sweep
     when ``key.steps > 1`` — and return one freshly-owned result array
-    per grid.
+    per grid.  ``out`` redirects the per-grid results into caller-supplied
+    destination arrays (the shm transport's slab-backed views) instead of
+    fresh allocations; numerics are unaffected.
     """
     if key.steps == 1:
         plan = cache.get_or_build(key, spec=spec)
-        return plan.executor.run_batch_split(grids)
-    return _run_super_sweep(cache, key, spec, grids, temporal_mode)
+        return plan.executor.run_batch_split(grids, out=out)
+    return _run_super_sweep(cache, key, spec, grids, temporal_mode, out)
 
 
 class ServeWorker(threading.Thread):
@@ -323,6 +382,43 @@ def _picklable_exc(exc: BaseException) -> BaseException:
         return RuntimeError(f"{type(exc).__name__}: {exc}")
 
 
+def _decode_batch(
+    attachments: SlabAttachments, payload: tuple, precision: str
+) -> Tuple[List[Grid], Optional[List[np.ndarray]]]:
+    """Worker-side payload decode: grids + slab-backed result destinations.
+
+    An ``("shm", block, grid_shape, dtype, bcs, result_block)`` payload
+    becomes per-grid zero-copy ndarray views over one task-slab batch
+    block (generation-validated); a ``("raw", arrays, bcs,
+    result_block)`` payload arrives already materialized by pickle.  In
+    either case a reserved result block becomes per-grid writable views
+    over the result slab — the executor's ``out=`` destinations — and
+    ``outs=None`` (no reservation) sends results back pickled: the two
+    transport directions degrade independently.
+    """
+    if payload[0] == "shm":
+        _, block, gshape, dtype_str, bcs, rblock = payload
+        batch_shape = (len(bcs),) + tuple(gshape)
+        batch = attachments.view(block, batch_shape, np.dtype(dtype_str))
+        grids = [
+            Grid(batch[b], BoundaryCondition(bc))
+            for b, bc in enumerate(bcs)
+        ]
+    else:
+        _, arrays, bcs, rblock = payload
+        batch_shape = (len(bcs),) + arrays[0].shape
+        grids = [
+            Grid(a, BoundaryCondition(bc)) for a, bc in zip(arrays, bcs)
+        ]
+    outs = None
+    if rblock is not None:
+        res = attachments.view(
+            rblock, batch_shape, _result_dtype(precision)
+        )
+        outs = [res[b] for b in range(len(bcs))]
+    return grids, outs
+
+
 def _process_worker_main(
     worker_id: int,
     task_q,
@@ -340,43 +436,84 @@ def _process_worker_main(
     Every result/exit message piggybacks a :class:`CacheStats` snapshot
     (itself a pure-data dataclass), which is how per-shard cache counters
     aggregate across process boundaries without a synchronous RPC.
+
+    Timing: the worker reports only the batch's **service duration** —
+    a clock *difference*, immune to any cross-process clock offset —
+    and echoes the parent-side submit timestamps it was handed; the
+    parent dispatcher anchors the duration against its own clock and
+    clamps with the echoed timestamps (see
+    :meth:`WorkerPool._dispatch_results`).
+
+    Shared-memory payloads are consumed as zero-copy views and results
+    are materialized straight into the reserved result-slab blocks via
+    the executor's ``out=`` destinations, so an shm result message
+    carries descriptors only.
     """
     device = DeviceSpec.from_dict(device_dict)
     cache = PlanCache(capacity=cache_capacity, device=device)
+    attachments = SlabAttachments()
     clock = time.monotonic
-    while True:
-        msg = task_q.get()
-        if msg is None:
-            result_q.put(("exit", worker_id, cache.stats()))
-            return
-        req_ids, key_dict, spec_dict, grid_payloads = msg
-        started = clock()
-        try:
-            key = PlanKey.from_dict(key_dict)
-            spec = StencilSpec.from_dict(spec_dict)
-            grids = [
-                Grid(data, BoundaryCondition(bc))
-                for data, bc in grid_payloads
-            ]
-            outs = execute_serve_batch(
-                cache, key, spec, grids, temporal_mode
-            )
-        except Exception as exc:
+    try:
+        while True:
+            msg = task_q.get()
+            if msg is None:
+                result_q.put(("exit", worker_id, cache.stats()))
+                return
+            req_ids, key_dict, spec_dict, submitted, payload = msg
+            started = clock()
+            try:
+                key = PlanKey.from_dict(key_dict)
+                spec = StencilSpec.from_dict(spec_dict)
+                grids, outs = _decode_batch(
+                    attachments, payload, key.precision
+                )
+                if outs is not None:
+                    # shm batch with a reserved result block: the executor
+                    # materializes results straight into the result slab
+                    # (no intermediate arrays, descriptor-only reply)
+                    execute_serve_batch(
+                        cache, key, spec, grids, temporal_mode, out=outs
+                    )
+                    results = ("shm",)
+                else:
+                    # queue transport, or the slab-cap fallback (grids
+                    # and/or results too big to reserve): results ride
+                    # the pipe as pickled arrays
+                    results = (
+                        "raw",
+                        execute_serve_batch(
+                            cache, key, spec, grids, temporal_mode
+                        ),
+                    )
+            except Exception as exc:
+                result_q.put(
+                    (
+                        "err",
+                        worker_id,
+                        req_ids,
+                        submitted,
+                        _picklable_exc(exc),
+                        clock() - started,
+                        cache.stats(),
+                    )
+                )
+                continue
             result_q.put(
                 (
-                    "err",
+                    "ok",
                     worker_id,
                     req_ids,
-                    _picklable_exc(exc),
-                    started,
-                    clock(),
+                    submitted,
+                    results,
+                    clock() - started,
                     cache.stats(),
                 )
             )
-            continue
-        result_q.put(
-            ("ok", worker_id, req_ids, outs, started, clock(), cache.stats())
-        )
+            # drop slab views before the next dequeue: the parent frees
+            # (and may recycle) these blocks once it processes the result
+            del grids, outs, results
+    finally:
+        attachments.close()
 
 
 class WorkerPool:
@@ -398,6 +535,19 @@ class WorkerPool:
         dispatcher — either way one accumulator aggregates every shard.
     backend:
         ``"thread"`` (default) or ``"process"`` — see the module docstring.
+    transport:
+        Process-backend bulk-byte transport: ``"shm"`` (default,
+        shared-memory slab pairs with descriptor-only queue messages) or
+        ``"queue"`` (pickled arrays on the mp queues).  Ignored by the
+        thread backend, which shares an address space.
+    slab_initial_bytes / slab_max_bytes:
+        Per-shard, per-direction shared-memory slab sizing for the shm
+        transport: the first segment's size and the hard byte cap.  The
+        cap bounds *in-flight* bytes — a transiently full slab applies
+        backpressure to the feeder rather than falling back — and is
+        deliberately small so hot blocks recycle through cache instead of
+        sprawling across cold pages; only a single batch that cannot fit
+        in an empty slab degrades to the pickled queue payload.
     temporal_mode:
         ``"exact"`` (default) or ``"fused"`` — how ``steps > 1`` batches
         execute their temporal super-sweep (see the module docstring).
@@ -413,6 +563,9 @@ class WorkerPool:
         device: DeviceSpec = A100_80GB_PCIE,
         telemetry: Optional[ServiceTelemetry] = None,
         backend: str = "thread",
+        transport: str = "shm",
+        slab_initial_bytes: int = 1 << 20,
+        slab_max_bytes: int = 8 << 20,
         temporal_mode: str = "exact",
     ) -> None:
         if num_workers < 1:
@@ -422,12 +575,18 @@ class WorkerPool:
                 f"unsupported worker backend {backend!r}; "
                 f"choose one of {WORKER_BACKENDS}"
             )
+        if transport not in WORKER_TRANSPORTS:
+            raise ValueError(
+                f"unsupported transport {transport!r}; "
+                f"choose one of {WORKER_TRANSPORTS}"
+            )
         if temporal_mode not in TEMPORAL_MODES:
             raise ValueError(
                 f"unsupported temporal_mode {temporal_mode!r}; "
                 f"choose one of {TEMPORAL_MODES}"
             )
         self.backend = backend
+        self.transport = transport if backend == "process" else "local"
         self.temporal_mode = temporal_mode
         self.telemetry = telemetry
         self.queues: List[BatchQueue] = [
@@ -458,9 +617,27 @@ class WorkerPool:
         ctx = _pick_mp_context()
         self._num_workers = num_workers
         self._cache_capacity = int(cache_capacity)
+        # per-shard (task, result) slab allocator pairs — parent-owned;
+        # segments are created lazily, so a queue-transport pool never
+        # touches /dev/shm
+        self._slabs: List[Optional[Tuple[SlabAllocator, SlabAllocator]]] = [
+            (
+                SlabAllocator(slab_initial_bytes, slab_max_bytes),
+                SlabAllocator(slab_initial_bytes, slab_max_bytes),
+            )
+            if self.transport == "shm"
+            else None
+            for _ in range(num_workers)
+        ]
         # req_id -> (shard, request): the shard index lets worker-death
         # handling fail exactly the requests the dead shard owned
         self._pending: Dict[int, Tuple[int, ServeRequest]] = {}
+        # first-req-id-of-batch -> (shard, task_block, result_block):
+        # whoever pops an entry — dispatcher, reaper or feeder — owns
+        # returning its slab blocks to the shard's free lists
+        self._batch_blocks: Dict[
+            int, Tuple[int, Optional[BlockRef], Optional[BlockRef]]
+        ] = {}
         self._pending_lock = threading.Lock()
         # shards whose worker died without its exit sentinel; submit()
         # rejects them and the feeder fails anything already queued
@@ -530,10 +707,24 @@ class WorkerPool:
         return shard
 
     def cache_stats(self) -> List[CacheStats]:
+        """Per-shard cache stats; process shards fold in their parent-side
+        slab bytes (``CacheStats.slab_bytes``), so the service report can
+        show shared-memory residency next to workspace residency."""
         if self.backend == "thread":
             return [c.stats() for c in self.caches]
         with self._pending_lock:
-            return list(self._shard_stats)
+            stats = list(self._shard_stats)
+        return [
+            dataclasses.replace(s, slab_bytes=self.slab_nbytes(i))
+            for i, s in enumerate(stats)
+        ]
+
+    def slab_nbytes(self, shard: int) -> int:
+        """Bytes of shared memory reserved for one shard's slab pair."""
+        slabs = self._slabs[shard] if self.backend == "process" else None
+        if slabs is None:
+            return 0
+        return slabs[0].nbytes + slabs[1].nbytes
 
     def close(self, join: bool = True) -> None:
         """Close every queue; workers drain what's pending, then exit.
@@ -564,14 +755,92 @@ class WorkerPool:
         for q in self._task_qs:
             q.close()
         self._result_q.close()
+        # every worker has unmapped (joined above), every result is
+        # resolved (dispatcher joined): unlink the shared-memory slabs
+        for slabs in self._slabs:
+            if slabs is not None:
+                slabs[0].close()
+                slabs[1].close()
 
     # -- process-backend internals --------------------------------------
+    def _build_batch_payload(
+        self, shard: int, batch: Sequence[ServeRequest]
+    ) -> Tuple[tuple, Optional[BlockRef], Optional[BlockRef], int]:
+        """One coalesced batch -> (payload, task block, result block,
+        bytes that will cross the mp pipe).
+
+        A batch shares one plan key, hence one grid shape and dtype, so
+        the shm transport packs it into a *single* task-slab block and
+        reserves a single result-slab block — one alloc/write/free cycle
+        per direction per batch keeps the allocator off the per-request
+        path.  A *transiently* full slab applies backpressure (the feeder
+        waits for in-flight batches to retire their blocks) rather than
+        forfeiting zero-copy under burst load; only a payload that cannot
+        fit in an empty slab — or a shard that died, so its blocks will
+        never come back — degrades that direction to the pickled queue
+        path, and the two directions degrade independently: a full result
+        slab still ships the grids zero-copy.
+        """
+        arrays = [np.ascontiguousarray(r.grid.data) for r in batch]
+        bcs = [r.grid.bc.value for r in batch]
+        slabs = self._slabs[shard]
+        tb = rb = None
+        if slabs is not None:
+            task_slab, result_slab = slabs
+
+            def shard_dead() -> bool:
+                with self._pending_lock:
+                    return shard in self._dead_shards
+
+            tb = task_slab.alloc_blocking(
+                sum(a.nbytes for a in arrays), should_abort=shard_dead
+            )
+            racc = _result_dtype(batch[0].key.precision)
+            rb = result_slab.alloc_blocking(
+                len(arrays) * arrays[0].size * racc.itemsize,
+                should_abort=shard_dead,
+            )
+        if tb is not None:
+            task_slab.write_batch(tb, arrays)
+            payload = (
+                "shm",
+                tb,
+                arrays[0].shape,
+                arrays[0].dtype.str,
+                bcs,
+                rb,
+            )
+            return payload, tb, rb, 0
+        return (
+            ("raw", arrays, bcs, rb),
+            None,
+            rb,
+            sum(a.nbytes for a in arrays),
+        )
+
+    def _free_blocks(
+        self,
+        shard: int,
+        tb: Optional[BlockRef],
+        rb: Optional[BlockRef],
+    ) -> None:
+        slabs = self._slabs[shard]
+        if slabs is None:
+            return
+        slabs[0].free(tb)
+        slabs[1].free(rb)
+
     def _feed_shard(self, shard: int) -> None:
         """Parent-side shard feeder: coalesced batches -> pure data -> child.
 
         Futures are registered in the pending table *before* the batch is
         shipped, so the dispatcher can never see a result for an unknown
-        request id.
+        request id.  Slab blocks are allocated after registration and
+        recorded into the pending entries before the ship, so whoever pops
+        an entry — dispatcher, reaper or this feeder — owns returning its
+        blocks.  The task tuple carries each request's **parent-side**
+        ``time.monotonic()`` submit timestamp, keeping every queue-wait
+        reading in one clock domain (see :meth:`_dispatch_results`).
         """
         queue, task_q = self.queues[shard], self._task_qs[shard]
         while True:
@@ -597,18 +866,33 @@ class WorkerPool:
             if dead:
                 self._fail_dead_shard_batch(shard, batch)
                 continue
+            payload, tb, rb, ipc_bytes = self._build_batch_payload(
+                shard, batch
+            )
+            # re-check death unconditionally: alloc_blocking aborts its
+            # backpressure wait when the shard dies, and shipping the
+            # fallback payload anyway would pickle grids into a queue
+            # nobody reads (and skew the IPC-bytes telemetry)
+            with self._pending_lock:
+                dead = shard in self._dead_shards
+                if not dead and (tb is not None or rb is not None):
+                    self._batch_blocks[batch[0].req_id] = (shard, tb, rb)
+            if dead:
+                # the reaper raced us: it already popped and failed
+                # these requests, so only the just-allocated blocks
+                # need returning
+                self._free_blocks(shard, tb, rb)
+                continue
+            if ipc_bytes and self.telemetry is not None:
+                self.telemetry.record_ipc(ipc_bytes)
             req0 = batch[0]
             task_q.put(
                 (
                     [r.req_id for r in batch],
                     req0.key.to_dict(),
                     req0.spec.to_dict(),
-                    # contiguous arrays pickle as a single buffer each —
-                    # the zero-copy-friendly layout for queue transport
-                    [
-                        (np.ascontiguousarray(r.grid.data), r.grid.bc.value)
-                        for r in batch
-                    ],
+                    [r.submitted_s for r in batch],
+                    payload,
                 )
             )
 
@@ -623,10 +907,21 @@ class WorkerPool:
         handling is likewise defensive — a malformed message fails its own
         batch, never the dispatcher.
 
-        Times come from the worker's ``time.monotonic``; on Linux that
-        clock is system-wide, so latency math against parent-side submit
-        times is coherent (elsewhere queue-wait readings may carry a
-        constant cross-process offset).
+        Timing is **offset-free by construction**: the worker reports only
+        the batch's service *duration* (a clock difference, valid across
+        any clock offset) and this thread anchors it against the parent's
+        own ``time.monotonic`` at receipt — ``finished = now``,
+        ``started = now - duration``, clamped from below by the batch's
+        parent-clock submit timestamps (which rode the task tuple and are
+        echoed back), so result transit can never read as negative queue
+        wait.  Queue-wait and latency then subtract parent-clock submit
+        timestamps from parent-clock anchors — no reading ever mixes two
+        processes' clocks (the residual skew is the result message's
+        transit, which under the shm transport is a descriptor-only
+        send).  Shm results are copied out of the result
+        slab into freshly-owned arrays here — one memcpy that decouples
+        the caller-visible result from slab lifetime — and every popped
+        request returns its slab blocks to the shard's free lists.
         """
         exited = [False] * self.num_workers
         while not all(exited):
@@ -643,17 +938,27 @@ class WorkerPool:
                         self._shard_stats[worker_id] = msg[2]
                     exited[worker_id] = True
                     continue
-                _, _, req_ids, payload, started, finished, stats = msg
+                _, _, req_ids, submitted, payload, service_dur, stats = msg
+                finished = time.monotonic()
+                started = finished - float(service_dur)
+                if submitted:
+                    # the batch cannot have started before its last
+                    # request was submitted (parent clock, round-tripped
+                    # through the task tuple): clamping the anchored
+                    # estimate keeps result transit from ever reading as
+                    # negative queue wait
+                    started = min(finished, max(started, max(submitted)))
                 with self._pending_lock:
                     self._shard_stats[worker_id] = stats
                     # ids can be absent if the shard was (wrongly) presumed
-                    # dead and reaped — those futures already failed
-                    reqs = [
-                        self._pending.pop(i)[1]
-                        for i in req_ids
-                        if i in self._pending
-                    ]
+                    # dead and reaped — those futures already failed (and
+                    # the reaper returned the batch's blocks)
+                    entries = [self._pending.pop(i, None) for i in req_ids]
+                    blocks = self._batch_blocks.pop(req_ids[0], None)
+                reqs = [e[1] for e in entries if e is not None]
                 if kind == "err":
+                    if blocks is not None:
+                        self._free_blocks(*blocks)
                     for r in reqs:
                         r._fail(
                             payload, started_s=started, finished_s=finished
@@ -661,14 +966,43 @@ class WorkerPool:
                     if self.telemetry is not None:
                         self.telemetry.record_error(reqs)
                     continue
-                for r, out in zip(reqs, payload):
-                    r._resolve(
+                ipc_bytes = 0
+                try:
+                    if payload[0] == "shm":
+                        if blocks is None or blocks[2] is None:
+                            # only reachable for reaped batches (no live
+                            # futures) or a protocol bug — never silent
+                            outs = None
+                        else:
+                            shard0, r0 = blocks[0], reqs[0]
+                            outs = self._slabs[shard0][1].read_batch(
+                                blocks[2],
+                                (len(req_ids),) + r0.grid.shape,
+                                _result_dtype(r0.key.precision),
+                            )
+                    else:
+                        outs = payload[1]
+                        ipc_bytes = sum(o.nbytes for o in outs)
+                finally:
+                    if blocks is not None:
+                        self._free_blocks(*blocks)
+                if outs is None and reqs:
+                    raise RuntimeError(
+                        "shm result arrived for a batch whose blocks are "
+                        "gone (reaped or never reserved)"
+                    )
+                for e, out in zip(entries, outs or ()):
+                    if e is None:
+                        continue
+                    e[1]._resolve(
                         out,
                         batch_size=len(reqs),
                         started_s=started,
                         finished_s=finished,
                     )
                 if self.telemetry is not None:
+                    if ipc_bytes:
+                        self.telemetry.record_ipc(ipc_bytes)
                     self.telemetry.record_batch(reqs, started, finished)
             except Exception as exc:  # pragma: no cover - defensive
                 # a malformed message must fail (at most) its own batch,
@@ -682,15 +1016,24 @@ class WorkerPool:
 
     def _pop_ids_from_malformed(self, msg) -> List[ServeRequest]:
         """Best-effort request extraction from a message that failed to
-        process (see the dispatcher's defensive except)."""
+        process (see the dispatcher's defensive except): frees any slab
+        blocks the popped batches held and returns the requests."""
         try:
             ids = [i for i in msg[2] if isinstance(i, int)]
         except Exception:
             return []
         with self._pending_lock:
-            return [
-                self._pending.pop(i)[1] for i in ids if i in self._pending
+            entries = [
+                self._pending.pop(i) for i in ids if i in self._pending
             ]
+            blocks = [
+                self._batch_blocks.pop(i)
+                for i in ids
+                if i in self._batch_blocks
+            ]
+        for b in blocks:
+            self._free_blocks(*b)
+        return [e[1] for e in entries]
 
     def _fail_dead_shard_batch(
         self, shard: int, batch: Sequence[ServeRequest]
@@ -724,4 +1067,12 @@ class WorkerPool:
                     if shard == i
                 ]
                 dead = [self._pending.pop(rid)[1] for rid in dead_ids]
+                block_ids = [
+                    bid
+                    for bid, (shard, _, _) in self._batch_blocks.items()
+                    if shard == i
+                ]
+                blocks = [self._batch_blocks.pop(bid) for bid in block_ids]
+            for b in blocks:
+                self._free_blocks(*b)
             self._fail_dead_shard_batch(i, dead)

@@ -1,0 +1,584 @@
+"""Differential + lifecycle suite for the shared-memory grid transport.
+
+The shm transport moves every grid and result through parent-owned
+shared-memory slabs instead of pickled ``multiprocessing`` queues.  That
+is only shippable if two contracts are *enforced*:
+
+* **byte-identity** — the same request stream served with
+  ``transport="shm"`` must return byte-identical arrays to
+  ``transport="queue"``, the thread backend and the synchronous fallback,
+  across dims x precision x boundary conditions x steps (the transport
+  moves bits; the executor math never changes);
+* **lifecycle hygiene** — no ``/dev/shm`` segment outlives ``close()``
+  (including after a worker is killed mid-flight), and no
+  ``resource_tracker`` warnings fire under any start method (fork,
+  forkserver, spawn) — the attach-registration wart of pre-3.13 Python
+  must never let a dying worker unlink the parent's live segments.
+
+Plus the allocator-level contracts the transport is built on: free-list
+coalescing, geometric growth under a byte cap, queue fallback for
+oversized payloads, and generation-tag validation of stale descriptors.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    BlockRef,
+    ServeRequest,
+    SlabAllocator,
+    SlabAttachments,
+    SlabError,
+    StencilService,
+    WorkerPool,
+    plan_key_for,
+)
+from repro.serve.workers import (
+    _FUSED_KEY_MEMO,
+    _FUSED_KEY_MEMO_CAPACITY,
+    _fused_spec_and_key,
+)
+from repro.stencil import (
+    BoundaryCondition,
+    Grid,
+    named_stencil,
+    open_loop_stream,
+    serving_workloads,
+)
+
+#: dims 1/2/3, star+box, radii 1-2 — the differential coverage matrix.
+MIXED_SHAPE_IDS = ["wave1d", "heat2d", "blur2d", "Star-2D2R", "heat3d"]
+
+ALL_BCS = [
+    BoundaryCondition.ZERO,
+    BoundaryCondition.PERIODIC,
+    BoundaryCondition.REFLECT,
+    BoundaryCondition.NEAREST,
+]
+
+STEPS_CYCLE = [1, 2, 3]
+
+
+def _mixed_stream(n_requests=48, seed=7):
+    """Deterministic trace cycling dims x BCs x steps in one pass."""
+    workloads = serving_workloads(
+        MIXED_SHAPE_IDS,
+        size_1d=(96,),
+        size_2d=(18, 22),
+        size_3d=(7, 8, 9),
+        seed=seed,
+    )
+    trace = list(open_loop_stream(workloads, n_requests, 500.0, seed=seed))
+    return [
+        (
+            r.spec,
+            Grid(r.grid.data, ALL_BCS[i % len(ALL_BCS)]),
+            STEPS_CYCLE[i % len(STEPS_CYCLE)],
+        )
+        for i, r in enumerate(trace)
+    ]
+
+
+def _serve(requests, *, backend, transport="shm", precision="exact",
+           workers=2, **kw):
+    if workers == 0:
+        svc_kw = {}
+    else:
+        svc_kw = {"backend": backend, "transport": transport}
+    with StencilService(
+        workers=workers,
+        precision=precision,
+        max_batch_size=4,
+        max_wait_s=0.001,
+        **svc_kw,
+        **kw,
+    ) as svc:
+        handles = [
+            svc.submit(spec, grid, steps=steps)
+            for spec, grid, steps in requests
+        ]
+        svc.drain()
+        stats = svc.stats()
+    assert stats.telemetry.errors == 0
+    return [h.result() for h in handles], stats
+
+
+# ----------------------------------------------------------------------
+# differential: shm x {queue, thread, sync} x dims x precision x BC x steps
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("precision", ["exact", "fp16"])
+def test_shm_bit_identity_across_backends(precision):
+    """One mixed stream (dims x BCs x steps) must serve byte-identically
+    through shm-process, queue-process, thread and sync paths."""
+    requests = _mixed_stream()
+    shm_outs, shm_stats = _serve(
+        requests, backend="process", transport="shm", precision=precision
+    )
+    assert shm_stats.transport == "shm"
+    # the whole point: no bulk payload bytes crossed an IPC pipe
+    assert shm_stats.telemetry.ipc_payload_bytes == 0
+    for backend, transport in [
+        ("process", "queue"),
+        ("thread", "shm"),  # transport ignored off-process
+    ]:
+        outs, _ = _serve(
+            requests,
+            backend=backend,
+            transport=transport,
+            precision=precision,
+        )
+        for a, b in zip(shm_outs, outs):
+            assert a.dtype == b.dtype
+            assert a.shape == b.shape
+            assert a.tobytes() == b.tobytes()
+    sync_outs, _ = _serve(requests, backend="sync", workers=0,
+                          precision=precision)
+    for a, b in zip(shm_outs, sync_outs):
+        assert a.tobytes() == b.tobytes()
+
+
+def test_shm_identity_survives_worker_count_and_batch_shape():
+    requests = _mixed_stream(n_requests=30, seed=3)
+    base, _ = _serve(requests, backend="process", transport="queue",
+                     workers=1)
+    for workers in (1, 3):
+        outs, _ = _serve(
+            requests, backend="process", transport="shm", workers=workers
+        )
+        for a, b in zip(base, outs):
+            assert a.tobytes() == b.tobytes()
+
+
+def test_shm_temporal_fused_mode_matches_queue():
+    """steps > 1 in fused temporal mode writes through slab destinations
+    (fused GEMM + in-place ring repair) — still transport-invariant."""
+    spec = named_stencil("heat2d")
+    rng = np.random.default_rng(5)
+    requests = [
+        (spec, Grid(rng.standard_normal((24, 24))), 3) for _ in range(8)
+    ]
+    shm_outs, _ = _serve(
+        requests, backend="process", transport="shm",
+        temporal_mode="fused",
+    )
+    q_outs, _ = _serve(
+        requests, backend="process", transport="queue",
+        temporal_mode="fused",
+    )
+    for a, b in zip(shm_outs, q_outs):
+        assert a.tobytes() == b.tobytes()
+
+
+# ----------------------------------------------------------------------
+# fallback, growth, telemetry
+# ----------------------------------------------------------------------
+
+
+def test_oversized_grid_falls_back_to_queue_payload(rng):
+    """Grids beyond the slab byte cap must serve correctly (and count as
+    piped payload bytes) — capacity is a fast path, never a correctness
+    constraint."""
+    spec = named_stencil("heat2d")
+    grid = Grid.random((64, 64), rng)  # 32 KiB > the 16 KiB cap below
+    pool_kw = dict(
+        backend="process",
+        transport="shm",
+        slab_initial_bytes=8 << 10,
+        slab_max_bytes=16 << 10,
+    )
+    pool = WorkerPool(1, max_wait_s=0.001, **pool_kw)
+    try:
+        req = ServeRequest(
+            0,
+            spec,
+            grid,
+            plan_key_for(spec, grid_shape=grid.shape),
+            time.monotonic(),
+        )
+        pool.submit(req)
+        out = req.result(timeout=60)
+    finally:
+        pool.close(join=True)
+    with StencilService(workers=2, backend="thread") as svc:
+        expected = svc.run(spec, grid, timeout=60)
+    assert out.tobytes() == expected.tobytes()
+
+
+def test_transport_directions_degrade_independently(rng):
+    """Under fp16 a result block is half a task block, so a cap between
+    the two sizes ships grids pickled but results through the slab —
+    each direction degrades on its own, results stay byte-identical."""
+    from repro.serve import ServiceTelemetry
+
+    spec = named_stencil("heat2d")
+    grids = [Grid.random((48, 48), rng) for _ in range(6)]
+    telemetry = ServiceTelemetry()
+    # 48x48 f64 grid = 18.4 KB > 12 KB cap; f32 result = 9.2 KB fits
+    pool = WorkerPool(
+        1,
+        backend="process",
+        transport="shm",
+        slab_initial_bytes=12 << 10,
+        slab_max_bytes=12 << 10,
+        max_batch_size=1,
+        max_wait_s=0.001,
+        telemetry=telemetry,
+    )
+    try:
+        reqs = []
+        for i, g in enumerate(grids):
+            r = ServeRequest(
+                i,
+                spec,
+                g,
+                plan_key_for(
+                    spec, precision="fp16", grid_shape=g.shape
+                ),
+                time.monotonic(),
+            )
+            reqs.append(r)
+            pool.submit(r)
+        outs = [r.result(timeout=60) for r in reqs]
+    finally:
+        pool.close(join=True)
+    # grids were piped, results were not
+    assert telemetry.snapshot().ipc_payload_bytes == sum(
+        g.data.nbytes for g in grids
+    )
+    requests = [(spec, g, 1) for g in grids]
+    expected, _ = _serve(requests, backend="process", transport="queue",
+                         precision="fp16", workers=1)
+    for a, b in zip(outs, expected):
+        assert a.dtype == b.dtype
+        assert a.tobytes() == b.tobytes()
+
+
+def test_slab_grows_geometrically_and_reports_bytes(rng):
+    spec = named_stencil("heat2d")
+    pool = WorkerPool(
+        1,
+        backend="process",
+        transport="shm",
+        slab_initial_bytes=4 << 10,  # one 22x22 f64 grid is ~3.9 KiB
+        slab_max_bytes=4 << 20,
+        max_batch_size=8,
+        max_wait_s=0.005,
+    )
+    try:
+        initial = pool.slab_nbytes(0)
+        reqs = []
+        for i in range(24):
+            grid = Grid.random((22, 22), rng)
+            r = ServeRequest(
+                i,
+                spec,
+                grid,
+                plan_key_for(spec, grid_shape=grid.shape),
+                time.monotonic(),
+            )
+            reqs.append(r)
+            pool.submit(r)
+        outs = [r.result(timeout=60) for r in reqs]
+        grown = pool.slab_nbytes(0)
+        # stats plumbing: slab bytes surface through cache_stats
+        reported = sum(s.slab_bytes for s in pool.cache_stats())
+    finally:
+        pool.close(join=True)
+    assert all(o.shape == (22, 22) for o in outs)
+    # coalesced batches exceed one initial segment -> geometric growth
+    assert grown > initial
+    assert reported == grown
+
+
+def test_queue_transport_counts_ipc_bytes_shm_counts_none(rng):
+    spec = named_stencil("heat2d")
+    requests = [
+        (spec, Grid.random((16, 16), rng), 1) for _ in range(10)
+    ]
+    grid_bytes = sum(g.data.nbytes for _, g, _ in requests)
+    _, q_stats = _serve(requests, backend="process", transport="queue")
+    # grids out + results back, both pickled over pipes
+    assert q_stats.telemetry.ipc_payload_bytes >= 2 * grid_bytes
+    assert q_stats.telemetry.ipc_bytes_per_request > 0
+    _, s_stats = _serve(requests, backend="process", transport="shm")
+    assert s_stats.telemetry.ipc_payload_bytes == 0
+    _, t_stats = _serve(requests, backend="thread")
+    assert t_stats.telemetry.ipc_payload_bytes == 0
+
+
+def test_queue_wait_telemetry_is_offset_free_and_sane(rng):
+    """Queue-wait/latency math must mix no cross-process clocks: every
+    reading is anchored in the parent's monotonic domain, so waits are
+    non-negative and bounded by latency even if worker clocks drifted."""
+    spec = named_stencil("heat2d")
+    requests = [
+        (spec, Grid.random((16, 16), rng), 1) for _ in range(20)
+    ]
+    _, stats = _serve(requests, backend="process", transport="shm")
+    t = stats.telemetry
+    assert t.queue_wait_ms["p50"] >= 0.0
+    assert t.latency_ms["max"] >= t.queue_wait_ms["max"]
+    assert t.latency_ms["p50"] >= t.service_ms["p50"] * 0.0  # well-formed
+
+
+def test_transport_validation_and_stats_tagging(rng):
+    with pytest.raises(ValueError, match="transport"):
+        StencilService(workers=1, backend="process", transport="carrier")
+    with pytest.raises(ValueError, match="transport"):
+        WorkerPool(1, transport="carrier")
+    spec = named_stencil("heat2d")
+    with StencilService(workers=1, backend="process",
+                        transport="queue") as svc:
+        svc.run(spec, Grid.random((12, 12), rng), timeout=60)
+        assert svc.stats().transport == "queue"
+    with StencilService(workers=1, backend="thread") as svc:
+        svc.run(spec, Grid.random((12, 12), rng), timeout=60)
+        assert svc.stats().transport == "local"
+
+
+# ----------------------------------------------------------------------
+# allocator unit contracts
+# ----------------------------------------------------------------------
+
+
+def _drain_and_close(alloc):
+    names = alloc.segment_names()
+    alloc.close()
+    for n in names:
+        assert not os.path.exists(f"/dev/shm/{n}")
+
+
+def test_allocator_alloc_free_coalesce_roundtrip():
+    alloc = SlabAllocator(initial_bytes=1 << 14, max_bytes=1 << 16)
+    try:
+        blocks = [alloc.alloc(1024) for _ in range(8)]
+        assert all(b is not None for b in blocks)
+        # distinct, non-overlapping data regions
+        spans = sorted((b.offset, b.offset + b.nbytes) for b in blocks)
+        for (lo1, hi1), (lo2, hi2) in zip(spans, spans[1:]):
+            assert hi1 <= lo2
+        for b in blocks:
+            alloc.free(b)
+        # coalesced back: a segment-filling alloc succeeds again
+        big = alloc.alloc((1 << 14) - 64 - 64)
+        assert big is not None
+        alloc.free(big)
+    finally:
+        _drain_and_close(alloc)
+
+
+def test_allocator_grows_then_caps_then_falls_back():
+    alloc = SlabAllocator(initial_bytes=4 << 10, max_bytes=16 << 10)
+    try:
+        a = alloc.alloc(3 << 10)
+        assert a is not None and alloc.nbytes == 4 << 10
+        b = alloc.alloc(3 << 10)  # second segment (geometric growth)
+        assert b is not None and alloc.nbytes > 4 << 10
+        assert alloc.alloc(1 << 20) is None  # over the cap -> fallback cue
+        alloc.free(a)
+        alloc.free(b)
+    finally:
+        _drain_and_close(alloc)
+
+
+def test_generation_tags_catch_stale_and_double_use():
+    alloc = SlabAllocator(initial_bytes=1 << 14, max_bytes=1 << 14)
+    att = SlabAttachments()
+    try:
+        block = alloc.alloc(8 * 16)
+        arr = np.arange(16, dtype=np.float64)
+        alloc.write_batch(
+            BlockRef(block.segment, block.offset, 8 * 16, block.generation),
+            [arr],
+        )
+        view = att.view(block, (16,), np.float64)
+        assert view.tobytes() == arr.tobytes()
+        del view
+        alloc.free(block)
+        # stale descriptor after free: poisoned generation is detected
+        with pytest.raises(SlabError, match="generation"):
+            att.view(block, (16,), np.float64)
+        with pytest.raises(SlabError, match="generation"):
+            alloc.buffer(block)
+        # double free is an explicit protocol error too
+        with pytest.raises(SlabError, match="free"):
+            alloc.free(block)
+        # recycled block: new generation invalidates the old descriptor
+        block2 = alloc.alloc(8 * 16)
+        assert block2.generation != block.generation
+        with pytest.raises(SlabError, match="generation"):
+            att.view(block, (16,), np.float64)
+        alloc.free(block2)
+    finally:
+        att.close()
+        _drain_and_close(alloc)
+
+
+def test_attach_unknown_segment_raises_slab_error():
+    att = SlabAttachments()
+    try:
+        with pytest.raises(SlabError, match="unlinked"):
+            att.view(BlockRef("psm_gone_gone", 64, 64, 1), (8,), np.float64)
+    finally:
+        att.close()
+
+
+# ----------------------------------------------------------------------
+# lifecycle: unlink on close, kill, start methods, tracker hygiene
+# ----------------------------------------------------------------------
+
+
+def _pool_segment_names(pool):
+    names = []
+    for slabs in pool._slabs:
+        if slabs is not None:
+            names += slabs[0].segment_names() + slabs[1].segment_names()
+    return names
+
+
+def test_no_leaked_segments_after_close(rng):
+    spec = named_stencil("heat2d")
+    pool = WorkerPool(2, backend="process", transport="shm",
+                      max_wait_s=0.001)
+    reqs = []
+    for i in range(8):
+        grid = Grid.random((14, 14), rng)
+        r = ServeRequest(
+            i,
+            spec,
+            grid,
+            plan_key_for(spec, grid_shape=grid.shape),
+            time.monotonic(),
+        )
+        reqs.append(r)
+        pool.submit(r)
+    for r in reqs:
+        r.result(timeout=60)
+    names = _pool_segment_names(pool)
+    assert names, "shm transport should have created segments"
+    assert all(os.path.exists(f"/dev/shm/{n}") for n in names)
+    pool.close(join=True)
+    for n in names:
+        assert not os.path.exists(f"/dev/shm/{n}"), f"leaked segment {n}"
+
+
+def test_no_leaked_segments_after_worker_kill(rng):
+    """A worker killed mid-flight (OOM stand-in) must not strand segments
+    — close() after the reap still unlinks everything, and the pending
+    request fails explicitly."""
+    spec = named_stencil("heat2d")
+    pool = WorkerPool(1, backend="process", transport="shm",
+                      max_wait_s=10.0)
+    grid = Grid.random((12, 12), rng)
+    req = ServeRequest(
+        0, spec, grid, plan_key_for(spec, grid_shape=grid.shape), 0.0
+    )
+    pool.workers[0].terminate()
+    pool.workers[0].join()
+    pool.submit(req)
+    pool.close(join=True)
+    assert req.done() and req.failed
+    names = _pool_segment_names(pool)
+    for n in names:
+        assert not os.path.exists(f"/dev/shm/{n}"), f"leaked segment {n}"
+
+
+_LIFECYCLE_SCRIPT = """
+import warnings
+warnings.simplefilter("error")  # any resource_tracker warning is fatal
+import numpy as np
+from repro.serve import StencilService
+from repro.stencil import Grid, named_stencil
+
+spec = named_stencil("heat2d")
+rng = np.random.default_rng(0)
+with StencilService(workers=2, backend="process", transport="shm") as svc:
+    handles = [
+        svc.submit(spec, Grid.random((16, 16), rng)) for _ in range(12)
+    ]
+    svc.drain()
+    outs = [h.result(timeout=60) for h in handles]
+assert all(o.shape == (16, 16) for o in outs)
+print("SERVED-OK")
+"""
+
+
+@pytest.mark.parametrize("start_method", ["spawn", "forkserver"])
+def test_shm_clean_under_start_method(start_method):
+    """Full service lifecycle under non-fork start methods, with warnings
+    promoted to errors: no resource_tracker 'leaked shared_memory'
+    complaints, no KeyError tracebacks from tracker double-accounting,
+    and a clean exit."""
+    env = dict(os.environ)
+    env["REPRO_MP_START_METHOD"] = start_method
+    env["PYTHONPATH"] = (
+        os.path.join(os.path.dirname(__file__), "..", "src")
+        + os.pathsep
+        + env.get("PYTHONPATH", "")
+    )
+    proc = subprocess.run(
+        [sys.executable, "-W", "error::UserWarning", "-c",
+         _LIFECYCLE_SCRIPT],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "SERVED-OK" in proc.stdout
+    assert "leaked shared_memory" not in proc.stderr
+    assert "resource_tracker" not in proc.stderr
+    assert "Traceback" not in proc.stderr
+
+
+# ----------------------------------------------------------------------
+# satellite: fused-key memo evicts LRU, not wholesale
+# ----------------------------------------------------------------------
+
+
+def test_fused_key_memo_evicts_lru_not_wholesale(monkeypatch):
+    import repro.serve.workers as workers_mod
+
+    monkeypatch.setattr(workers_mod, "_FUSED_KEY_MEMO_CAPACITY", 4)
+    _FUSED_KEY_MEMO.clear()
+    rng = np.random.default_rng(0)
+    specs = []
+    from repro.stencil.spec import StencilSpec
+
+    base = named_stencil("heat1d")
+    for i in range(6):
+        w = base.weights.copy()
+        w[0] += (i + 1) * 1e-3  # distinct kernels -> distinct keys
+        specs.append(StencilSpec(base.shape, base.dims, base.radius, w))
+    keys = [
+        plan_key_for(s, grid_shape=(64,), steps=2) for s in specs
+    ]
+    for s, k in zip(specs, keys):
+        _fused_spec_and_key(k, s)
+    assert len(_FUSED_KEY_MEMO) == 4  # bounded, not cleared to zero
+    # the two oldest were evicted, the newest four survive
+    assert keys[0] not in _FUSED_KEY_MEMO
+    assert keys[1] not in _FUSED_KEY_MEMO
+    assert all(k in _FUSED_KEY_MEMO for k in keys[2:])
+    # a hit refreshes recency: touch keys[2], insert one more, and the
+    # eviction victim is keys[3] (the new LRU), not keys[2]
+    _fused_spec_and_key(keys[2], specs[2])
+    w = base.weights.copy()
+    w[0] += 7e-2
+    s7 = StencilSpec(base.shape, base.dims, base.radius, w)
+    k7 = plan_key_for(s7, grid_shape=(64,), steps=2)
+    _fused_spec_and_key(k7, s7)
+    assert keys[2] in _FUSED_KEY_MEMO
+    assert keys[3] not in _FUSED_KEY_MEMO
+    _FUSED_KEY_MEMO.clear()
+
+
+def test_fused_key_memo_default_capacity_unchanged():
+    assert _FUSED_KEY_MEMO_CAPACITY == 512
