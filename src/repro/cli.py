@@ -134,6 +134,7 @@ def _cmd_serve_bench(args) -> int:
         stream = closed_loop_stream(workloads, args.requests, seed=args.seed)
     requests = list(stream)
 
+    trace_path = getattr(args, "trace", None)
     with StencilService(
         workers=args.workers,
         max_batch_size=args.batch,
@@ -141,6 +142,7 @@ def _cmd_serve_bench(args) -> int:
         backend=args.backend,
         transport=args.transport,
         temporal_mode=args.temporal_mode,
+        trace=trace_path is not None,
     ) as svc:
         start = time.perf_counter()
         for r in requests:
@@ -152,12 +154,20 @@ def _cmd_serve_bench(args) -> int:
         svc.drain()
         elapsed = time.perf_counter() - start
         stats = svc.stats()
+        spans = svc.trace_spans() if trace_path else ()
+        if trace_path:
+            svc.export_trace(trace_path)
 
     throughput = len(requests) / elapsed
     sweeps_per_s = stats.telemetry.sweeps / elapsed
     print(format_service_report(stats))
     print(f"{'throughput':<22} {throughput:.1f} req/s over {elapsed:.3f}s")
     print(f"{'sweep throughput':<22} {sweeps_per_s:.1f} sweeps/s")
+    if trace_path:
+        from .serve import format_stage_table, stage_totals
+
+        print(f"{'trace':<22} {len(spans)} spans -> {trace_path}")
+        print(format_stage_table(stage_totals(spans)))
     if args.json:
         t = stats.telemetry
         print(
@@ -182,6 +192,79 @@ def _cmd_serve_bench(args) -> int:
                 indent=2,
             )
         )
+    return 0 if stats.telemetry.errors == 0 else 1
+
+
+def _cmd_trace(args) -> int:
+    """Replay a serving workload with tracing on; emit the Chrome trace,
+    a per-stage time-attribution table, and (optionally) Prometheus text."""
+    import json
+    import time
+
+    from .serve import (
+        StencilService,
+        format_stage_table,
+        stage_totals,
+        validate_chrome_trace,
+    )
+    from .serve.tracing import EXECUTION_STAGES
+    from .stencil.workloads import closed_loop_stream, serving_workloads
+
+    shapes = None
+    if args.shapes:
+        shapes = [s.strip() for s in args.shapes.split(",") if s.strip()]
+    size = _parse_size(args.size) if args.size else (48, 48)
+    workloads = serving_workloads(shapes, size_2d=size, seed=args.seed)
+    requests = list(
+        closed_loop_stream(workloads, args.requests, seed=args.seed)
+    )
+
+    with StencilService(
+        workers=args.workers,
+        max_batch_size=args.batch,
+        max_wait_s=args.wait_ms / 1e3,
+        backend=args.backend,
+        transport=args.transport,
+        temporal_mode=args.temporal_mode,
+        trace=True,
+    ) as svc:
+        start = time.perf_counter()
+        for r in requests:
+            svc.submit(r.spec, r.grid, steps=args.steps)
+        svc.drain()
+        elapsed = time.perf_counter() - start
+        stats = svc.stats()
+        spans = svc.trace_spans()
+        svc.export_trace(args.out)
+
+    with open(args.out, "r", encoding="utf-8") as fh:
+        n_events = validate_chrome_trace(json.load(fh))
+    totals = stage_totals(spans)
+    service_total = (
+        stats.telemetry.service_ms["mean"]
+        * stats.telemetry.service_ms["count"]
+        / 1e3
+    )
+    covered = sum(
+        totals[s]["total_s"] for s in EXECUTION_STAGES if s in totals
+    )
+    print(format_stage_table(totals))
+    print(
+        f"  {'requests':<16} {len(requests)} in {elapsed:.3f}s "
+        f"({len(requests) / elapsed:.1f} req/s)"
+    )
+    print(f"  {'trace':<16} {len(spans)} spans, {n_events} events -> {args.out}")
+    print("  open in Perfetto: https://ui.perfetto.dev (drag the file in)")
+    if service_total > 0:
+        print(
+            f"  {'coverage':<16} execution stages account for "
+            f"{covered / service_total * 100:.1f}% of "
+            f"{service_total * 1e3:.2f} ms batch service time"
+        )
+    if args.prometheus:
+        with open(args.prometheus, "w", encoding="utf-8") as fh:
+            fh.write(stats.to_prometheus())
+        print(f"  {'prometheus':<16} -> {args.prometheus}")
     return 0 if stats.telemetry.errors == 0 else 1
 
 
@@ -285,7 +368,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", action="store_true", help="also emit a JSON summary"
     )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.json",
+        help="enable span tracing and write a Chrome trace_event JSON "
+        "(Perfetto-loadable) plus a per-stage attribution table",
+    )
     p.set_defaults(fn=_cmd_serve_bench)
+
+    p = sub.add_parser(
+        "trace",
+        help="replay a serving workload with tracing on; emit a "
+        "Perfetto-loadable trace and per-stage time attribution",
+    )
+    p.add_argument("out", help="output path for the trace_event JSON")
+    p.add_argument("--requests", type=int, default=64)
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument(
+        "--backend", choices=["thread", "process"], default="thread"
+    )
+    p.add_argument("--transport", choices=["shm", "queue"], default="shm")
+    p.add_argument("--batch", type=int, default=8, help="max batch size")
+    p.add_argument(
+        "--wait-ms", type=float, default=2.0, help="batching deadline (ms)"
+    )
+    p.add_argument("--steps", type=int, default=1)
+    p.add_argument(
+        "--temporal-mode", choices=["exact", "fused"], default="exact"
+    )
+    p.add_argument(
+        "--shapes",
+        default=None,
+        help="comma list of named stencils or paper ids (default mix)",
+    )
+    p.add_argument("--size", default=None, help="2D grid size, e.g. 48x48")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--prometheus",
+        default=None,
+        metavar="OUT.prom",
+        help="also write the service stats as Prometheus text exposition",
+    )
+    p.set_defaults(fn=_cmd_trace)
     return parser
 
 

@@ -46,9 +46,10 @@ from __future__ import annotations
 
 import math
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
@@ -69,7 +70,24 @@ from ..stencil.spec import StencilSpec
 from .encoding import EncodedKernelRow, build_fused_operator, encode_kernel_row
 from .row_swap import baseline_row_offset_fn, swapped_row_offset_fn
 
-__all__ = ["SpiderExecutor", "FaithfulRunReport"]
+__all__ = ["SpiderExecutor", "FaithfulRunReport", "set_stage_hook"]
+
+#: Optional tracing hook.  ``_STAGE_HOOK()`` is called once per fused
+#: sweep and returns an ``emit(stage, start_s, dur_s)`` callable — or
+#: ``None``, in which case the sweep takes no clock reads at all.  The
+#: serving layer's tracer installs it (:mod:`repro.serve.tracing`); the
+#: executor itself never imports the serving layer.
+_STAGE_HOOK: Optional[
+    Callable[[], Optional[Callable[[str, float, float], None]]]
+] = None
+
+
+def set_stage_hook(
+    hook: Optional[Callable[[], Optional[Callable[[str, float, float], None]]]],
+) -> None:
+    """Install (or clear, with ``None``) the per-sweep stage-span hook."""
+    global _STAGE_HOOK
+    _STAGE_HOOK = hook
 
 
 def _rebuild_executor(
@@ -596,6 +614,8 @@ class SpiderExecutor:
         zeroed.
         """
         B = len(sources)
+        hook = _STAGE_HOOK
+        emit = hook() if hook is not None else None
         ws = self._workspace_for(B, shape)
         op = self._fused
         L = self.L
@@ -611,6 +631,8 @@ class SpiderExecutor:
         padded_grids = padded2d.reshape(
             (B,) + ws.pad_lead + (ws.chunks_ext * L,)
         )
+        if emit is not None:
+            t_pad = time.monotonic()
         if pad_mode == "center":
             r = self.spec.radius
             center = tuple(slice(r, r + s) for s in shape)
@@ -619,6 +641,8 @@ class SpiderExecutor:
         else:
             for b, (data, bc) in enumerate(sources):
                 self._pad_into(data, bc, padded_grids[b])
+        if emit is not None:
+            emit("mac.pad", t_pad, time.monotonic() - t_pad)
         # (line, chunk, lane) view: element [p, j, t] = padded[p, j*L + t],
         # so swapped X row i is the strided slice [:, sh_i : sh_i+chunks, t_i]
         padded_lanes = padded2d.reshape(n_pad_lines, ws.chunks_ext, L)
@@ -629,6 +653,8 @@ class SpiderExecutor:
             p1 = min(p0 + ws.blk, n_pad_lines)
             pl = p1 - p0
             block = padded_lanes[p0:p1]
+            if emit is not None:
+                t_gather = time.monotonic()
             cells = pl * chunks
             # einsum's ordered kernel needs >= 2 columns; pad with zeros
             # (slicing back to `cells` is a view: the pad sits at the end)
@@ -655,7 +681,13 @@ class SpiderExecutor:
             y2 = ws.y_flat[: op.m_active * n_exec].reshape(
                 op.m_active, n_exec
             )
+            if emit is not None:
+                t_gemm = time.monotonic()
+                emit("mac.gather", t_gather, t_gemm - t_gather)
             op.execute(x2, out=y2, stream=self.stream)
+            if emit is not None:
+                t_scatter = time.monotonic()
+                emit("mac.gemm", t_gemm, t_scatter - t_gemm)
             y3 = y2[:, :cells].reshape(op.m_active, pl, chunks)
             # scatter-accumulate each kernel row's block in ascending q;
             # a line's contributions arrive in ascending q because its
@@ -674,6 +706,10 @@ class SpiderExecutor:
                 )
                 np.take(y3[qi * L : (qi + 1) * L], idx, axis=1, out=g3)
                 acc[lo:hi] += g3.transpose(1, 2, 0)
+            if emit is not None:
+                emit(
+                    "mac.scatter", t_scatter, time.monotonic() - t_scatter
+                )
 
         res2d = acc.reshape(n_lines, ws.npad)[:, : ws.n]
         lpg = ws.lines_per_grid
@@ -682,10 +718,14 @@ class SpiderExecutor:
                 res2d[b * lpg : (b + 1) * lpg].reshape(shape)
                 for b in range(B)
             ]
+        if emit is not None:
+            t_store = time.monotonic()
         for b in range(B):
             np.copyto(
                 dest[b].reshape(lpg, ws.n), res2d[b * lpg : (b + 1) * lpg]
             )
+        if emit is not None:
+            emit("mac.store", t_store, time.monotonic() - t_store)
         return None
 
     def _pad_into(

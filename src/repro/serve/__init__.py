@@ -17,10 +17,24 @@ requests into batched SpTC passes:
 * :mod:`service` — the :class:`StencilService` façade
   (``submit / submit_many / stats / drain``) with a synchronous fallback;
 * :mod:`telemetry` — latency / occupancy / cache-hit histograms feeding
-  :mod:`repro.analysis`-style reports.
+  :mod:`repro.analysis`-style reports and Prometheus text exposition;
+* :mod:`metrics` — bounded streaming histograms plus the counter/gauge
+  registry the serving components publish into;
+* :mod:`tracing` — end-to-end span tracing (submit → coalesce → pack →
+  ipc → mac → unpack → resolve, across process boundaries) with Chrome
+  ``trace_event`` export and per-stage time attribution.
 """
 
 from .batching import BatchQueue, ServeRequest
+from .metrics import (
+    Counter,
+    Gauge,
+    MetricSample,
+    MetricsRegistry,
+    StreamingHistogram,
+    render_prometheus,
+    validate_prometheus_text,
+)
 from .plan_cache import (
     CacheStats,
     PlanCache,
@@ -36,6 +50,15 @@ from .telemetry import (
     ServiceTelemetry,
     TelemetrySnapshot,
     format_service_report,
+)
+from .tracing import (
+    Span,
+    SpanRecorder,
+    format_stage_table,
+    stage_totals,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
 )
 from .workers import (
     TEMPORAL_MODES,
@@ -64,6 +87,20 @@ __all__ = [
     "ServiceTelemetry",
     "TelemetrySnapshot",
     "format_service_report",
+    "Counter",
+    "Gauge",
+    "MetricSample",
+    "MetricsRegistry",
+    "StreamingHistogram",
+    "render_prometheus",
+    "validate_prometheus_text",
+    "Span",
+    "SpanRecorder",
+    "format_stage_table",
+    "stage_totals",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
     "ServeWorker",
     "WorkerPool",
     "WORKER_BACKENDS",

@@ -60,6 +60,9 @@ class ServeRequest:
         self.grid = grid
         self.key = key
         self.submitted_s = submitted_s
+        #: (trace_id, root span_id) when the owning service traces this
+        #: request; workers parent their spans under the root span
+        self.trace: Optional[tuple] = None
         self.started_s: Optional[float] = None
         self.finished_s: Optional[float] = None
         self.batch_size: Optional[int] = None
@@ -164,6 +167,9 @@ class BatchQueue:
         self.max_batch_size = int(max_batch_size)
         self.max_wait_s = float(max_wait_s)
         self._clock = clock
+        self._coalesced_batches = None
+        self._coalesced_requests = None
+        self._coalesced_sweeps = None
         # per-key FIFOs, ordered by each key's first pending arrival, so a
         # put and a batch extraction are O(1)/O(batch) instead of scanning
         # every pending request on every wakeup
@@ -171,6 +177,23 @@ class BatchQueue:
         self._pending_count = 0
         self._cond = threading.Condition()
         self._closed = False
+
+    def bind_metrics(self, registry) -> None:
+        """Register coalescing counters into a
+        :class:`~repro.serve.metrics.MetricsRegistry`; idempotent per
+        name, so every shard's queue shares the same counters."""
+        self._coalesced_batches = registry.counter(
+            "repro_serve_coalesced_batches_total",
+            "Batches released by the coalescing queues.",
+        )
+        self._coalesced_requests = registry.counter(
+            "repro_serve_coalesced_requests_total",
+            "Requests released inside coalesced batches.",
+        )
+        self._coalesced_sweeps = registry.counter(
+            "repro_serve_coalesced_sweeps_total",
+            "Sweeps (fusion depth x occupancy) released in batches.",
+        )
 
     def __len__(self) -> int:
         with self._cond:
@@ -238,4 +261,8 @@ class BatchQueue:
             if not fifo:
                 del self._by_key[key]
             self._pending_count -= len(batch)
-            return batch
+        if self._coalesced_batches is not None:
+            self._coalesced_batches.inc()
+            self._coalesced_requests.inc(len(batch))
+            self._coalesced_sweeps.inc(len(batch) * key.steps)
+        return batch

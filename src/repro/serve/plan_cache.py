@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Tuple
@@ -242,6 +243,21 @@ class PlanCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._compiles_counter = None
+        self._compile_seconds_counter = None
+
+    def bind_metrics(self, registry) -> None:
+        """Register compile counters into a
+        :class:`~repro.serve.metrics.MetricsRegistry` (worker-private
+        caches in the process backend stay unbound and skip the bumps)."""
+        self._compiles_counter = registry.counter(
+            "repro_serve_plan_compiles_total",
+            "Compile plans built on cache miss.",
+        )
+        self._compile_seconds_counter = registry.counter(
+            "repro_serve_plan_compile_seconds_total",
+            "Wall time spent building compile plans.",
+        )
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -356,18 +372,29 @@ class PlanCache:
                 # spared by the enforcement pass)
                 self._enforce_bytes_locked()
                 return plan
-            if builder is None:
-                if spec is None:
-                    raise ValueError("get_or_build needs a builder or a spec")
-                built = build_compile_plan(
-                    spec,
-                    precision=key.precision,
-                    variant=SpiderVariant(key.variant),
-                    device=self.device,
-                    grid_shape=key.tile_key or None,
-                )
-            else:
-                built = builder()
+            if builder is None and spec is None:
+                raise ValueError("get_or_build needs a builder or a spec")
+            # local import: tracing pulls in the executor hook machinery,
+            # which this module must not load unless a compile happens
+            from .tracing import stage_span
+
+            t0 = time.monotonic()
+            with stage_span(
+                "plan_compile", args={"variant": key.variant}
+            ):
+                if builder is None:
+                    built = build_compile_plan(
+                        spec,
+                        precision=key.precision,
+                        variant=SpiderVariant(key.variant),
+                        device=self.device,
+                        grid_shape=key.tile_key or None,
+                    )
+                else:
+                    built = builder()
+            if self._compiles_counter is not None:
+                self._compiles_counter.inc()
+                self._compile_seconds_counter.inc(time.monotonic() - t0)
             self.insert(key, built)
             return built
 

@@ -35,8 +35,15 @@ from ..sptc.mma import MmaPrecision
 from ..stencil.grid import Grid
 from ..stencil.spec import StencilSpec
 from .batching import ServeRequest
+from .metrics import MetricsRegistry
 from .plan_cache import CacheStats, PlanCache, plan_key_for
 from .telemetry import ServiceStats, ServiceTelemetry, format_service_report
+from .tracing import (
+    SpanRecorder,
+    batch_context,
+    stage_totals,
+    write_chrome_trace,
+)
 from .workers import (
     TEMPORAL_MODES,
     WORKER_TRANSPORTS,
@@ -85,6 +92,16 @@ class StencilService:
         kernel as one fused GEMM plus exact boundary-ring repair (interior
         deviates by at most the last ulp).  See
         :mod:`repro.serve.workers`.
+    trace:
+        Enable span tracing (off by default — the recorder exists either
+        way but records nothing while disabled, so the cost of leaving
+        this off is one attribute check per would-be span).  While on,
+        every request is traced submit → queue/coalesce → pack → ipc →
+        plan_compile/mac → unpack → resolve, across process boundaries;
+        harvest with :meth:`trace_spans` / :meth:`export_trace`.
+    exact_telemetry:
+        Use exact-sample histograms instead of the bounded streaming ones
+        (finite bench runs that want exact percentiles).
     """
 
     def __init__(
@@ -100,6 +117,8 @@ class StencilService:
         backend: str = "thread",
         transport: str = "shm",
         temporal_mode: str = "exact",
+        trace: bool = False,
+        exact_telemetry: bool = False,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -121,7 +140,9 @@ class StencilService:
             transport if (workers > 0 and backend == "process") else "local"
         )
         self.temporal_mode = temporal_mode
-        self._telemetry = ServiceTelemetry()
+        self._telemetry = ServiceTelemetry(exact=exact_telemetry)
+        self.tracer = SpanRecorder(enabled=trace)
+        self.metrics = MetricsRegistry()
         self._clock = time.monotonic
         self._ids = itertools.count()
         self._lock = threading.Lock()
@@ -142,11 +163,17 @@ class StencilService:
                 backend=backend,
                 transport=transport,
                 temporal_mode=temporal_mode,
+                tracer=self.tracer,
+                metrics=self.metrics,
             )
+            if backend == "thread":
+                for cache in self._pool.caches:
+                    cache.bind_metrics(self.metrics)
         else:
             self._sync_cache = PlanCache(
                 capacity=cache_capacity, device=device
             )
+            self._sync_cache.bind_metrics(self.metrics)
 
     # ------------------------------------------------------------------
     @property
@@ -184,6 +211,8 @@ class StencilService:
             key=key,
             submitted_s=self._clock(),
         )
+        if self.tracer.enabled:
+            req.trace = self.tracer.new_ids()
         with self._lock:
             # closed-check and enqueue share the lock so a concurrent
             # close() cannot slip between them
@@ -202,10 +231,19 @@ class StencilService:
                 # the request so no waiter hangs on it
                 now = self._clock()
                 req._fail(exc, started_s=now, finished_s=now)
-                self._telemetry.record_error([req])
+                self._telemetry.record_error([req], stage="submit")
                 raise
         else:
             self._run_sync(req)
+        if req.trace is not None:
+            self.tracer.record_span(
+                "submit",
+                "requests",
+                req.submitted_s,
+                self._clock() - req.submitted_s,
+                req.trace[0],
+                parent_id=req.trace[1],
+            )
         return req
 
     def _prune_inflight_locked(self) -> None:
@@ -247,23 +285,45 @@ class StencilService:
         """Synchronous fallback: the caller thread is the worker."""
         assert self._sync_cache is not None
         started = self._clock()
+        tracing = req.trace is not None and self.tracer.enabled
         try:
-            out = execute_serve_batch(
-                self._sync_cache,
-                req.key,
-                req.spec,
-                [req.grid],
-                self.temporal_mode,
-            )[0]
+            if tracing:
+                with batch_context(
+                    self.tracer, req.trace[0], req.trace[1], "sync"
+                ):
+                    out = execute_serve_batch(
+                        self._sync_cache,
+                        req.key,
+                        req.spec,
+                        [req.grid],
+                        self.temporal_mode,
+                    )[0]
+            else:
+                out = execute_serve_batch(
+                    self._sync_cache,
+                    req.key,
+                    req.spec,
+                    [req.grid],
+                    self.temporal_mode,
+                )[0]
         except Exception as exc:
             finished = self._clock()
             req._fail(exc, started_s=started, finished_s=finished)
-            self._telemetry.record_error([req])
+            self._telemetry.record_error([req], stage="execute")
             return
         finished = self._clock()
         req._resolve(
             out, batch_size=1, started_s=started, finished_s=finished
         )
+        if tracing:
+            self.tracer.record_span(
+                "request",
+                "sync",
+                req.submitted_s,
+                finished - req.submitted_s,
+                req.trace[0],
+                span_id=req.trace[1],
+            )
         self._telemetry.record_batch([req], started, finished)
 
     # ------------------------------------------------------------------
@@ -307,11 +367,26 @@ class StencilService:
             per_worker_cache=per_worker,
             backend=self.backend,
             transport=self.transport,
+            stages=stage_totals(self.tracer.snapshot()),
+            metrics=self.metrics.samples(),
         )
 
     def format_report(self) -> str:
         """Human-readable stats block (see :func:`format_service_report`)."""
         return format_service_report(self.stats())
+
+    # -- tracing --------------------------------------------------------
+    def trace_spans(self):
+        """All spans recorded so far (start-ordered tuple)."""
+        return self.tracer.snapshot()
+
+    def export_trace(self, path: str) -> int:
+        """Write the recorded spans as Chrome ``trace_event`` JSON
+        (loadable in Perfetto / ``chrome://tracing``); returns the number
+        of exported spans."""
+        spans = self.tracer.snapshot()
+        write_chrome_trace(path, spans)
+        return len(spans)
 
     # ------------------------------------------------------------------
     def close(self) -> None:

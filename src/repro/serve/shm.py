@@ -196,6 +196,21 @@ class SlabAllocator:
         self._lock = threading.Condition()
         self._generation = 0
         self._closed = False
+        self._stall_counter = None
+        self._fallback_counter = None
+
+    def bind_metrics(self, registry) -> None:
+        """Register backpressure/fallback counters into a
+        :class:`~repro.serve.metrics.MetricsRegistry` (idempotent per
+        name — all shards' allocators share the same counters)."""
+        self._stall_counter = registry.counter(
+            "repro_serve_shm_backpressure_stalls_total",
+            "alloc_blocking waits for a transiently full slab.",
+        )
+        self._fallback_counter = registry.counter(
+            "repro_serve_shm_fallbacks_total",
+            "Allocations that fell back to the pickled queue path.",
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -274,6 +289,7 @@ class SlabAllocator:
         while True:
             with self._lock:
                 if self._closed or span > self.max_bytes:
+                    self._count_fallback()
                     return None
                 block = self._try_alloc_locked(nbytes, span)
                 if block is not None:
@@ -284,10 +300,17 @@ class SlabAllocator:
                 if live == 0:
                     # empty yet unallocatable: capped out or fragmented
                     # across undersized segments — a wait cannot help
+                    self._count_fallback()
                     return None
+                if self._stall_counter is not None:
+                    self._stall_counter.inc()
                 self._lock.wait(poll_s)
             if should_abort is not None and should_abort():
                 return None
+
+    def _count_fallback(self) -> None:
+        if self._fallback_counter is not None:
+            self._fallback_counter.inc()
 
     def _grow(self, span: int) -> Optional[_Segment]:
         """Append a geometrically larger segment (callers hold the lock)."""

@@ -5,7 +5,13 @@ recorded here; :meth:`ServiceTelemetry.snapshot` plus the per-worker
 :class:`~repro.serve.plan_cache.CacheStats` roll up into a
 :class:`ServiceStats`, which :func:`format_service_report` renders in the
 same fixed-width report style as the :mod:`repro.analysis` table
-generators (and is re-exported there for reporting pipelines).
+generators (and is re-exported there for reporting pipelines), and
+:meth:`ServiceStats.to_prometheus` renders in the Prometheus text
+exposition format for scraping.
+
+Latency/occupancy distributions default to the bounded
+:class:`~repro.serve.metrics.StreamingHistogram`; pass ``exact=True``
+for benches that want exact percentiles over a finite run.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from .metrics import MetricSample, StreamingHistogram, render_prometheus
 from .plan_cache import CacheStats
 
 __all__ = [
@@ -26,13 +33,17 @@ __all__ = [
     "format_service_report",
 ]
 
+#: Stages an error can be attributed to, in pipeline order.
+ERROR_STAGES = ("submit", "pack", "ipc", "execute", "resolve")
+
 
 class Histogram:
     """Exact-sample histogram with percentile queries.
 
-    Serving benches run at most a few hundred thousand requests, so keeping
-    raw samples (8 bytes each) is cheaper than the bookkeeping of a sketch
-    and keeps p50/p99 exact.
+    Keeps every raw sample, so memory grows without bound — this is the
+    ``exact=True`` mode for finite bench runs where exact p50/p99 matter;
+    long-running services use :class:`~repro.serve.metrics.StreamingHistogram`
+    (same ``summary()`` contract, bounded memory).
     """
 
     def __init__(self) -> None:
@@ -105,6 +116,9 @@ class TelemetrySnapshot:
     #: the process backend's queue transport — which is exactly what makes
     #: the shm win visible in traffic stats, not just benchmarks.
     ipc_payload_bytes: int = 0
+    #: errors broken down by the pipeline stage they occurred in
+    #: (submit/pack/ipc/execute/resolve); values sum to ``errors``
+    errors_by_stage: Dict[str, int] = field(default_factory=dict)
 
     @property
     def mean_occupancy(self) -> float:
@@ -117,39 +131,62 @@ class TelemetrySnapshot:
 
 
 class ServiceTelemetry:
-    """Thread-safe accumulator the workers and sync path record into."""
+    """Thread-safe accumulator the workers and sync path record into.
 
-    def __init__(self) -> None:
+    ``exact=False`` (the default) uses bounded streaming histograms;
+    ``exact=True`` keeps raw samples for exact percentiles in benches.
+    Per-batch accounting is computed outside the lock and merged in one
+    acquire, so the dispatcher's hot loop holds the lock O(1) per batch
+    rather than O(batch size).
+    """
+
+    def __init__(self, exact: bool = False) -> None:
         self._lock = threading.Lock()
+        self.exact = exact
+        make = Histogram if exact else StreamingHistogram
         self._requests = 0
         self._sweeps = 0
         self._batches = 0
         self._errors = 0
+        self._errors_by_stage: Dict[str, int] = {}
         self._ipc_payload_bytes = 0
-        self._latency_s = Histogram()
-        self._queue_wait_s = Histogram()
-        self._occupancy = Histogram()
-        self._service_s = Histogram()
+        self._latency_s = make()
+        self._queue_wait_s = make()
+        self._occupancy = make()
+        self._service_s = make()
 
     def record_batch(
         self, requests: Sequence, started_s: float, finished_s: float
     ) -> None:
         """Account one executed batch of resolved :class:`ServeRequest`s."""
+        # accumulate per-batch values lock-free, merge under the lock once
+        n = len(requests)
+        sweeps = 0
+        latencies = []
+        waits = []
+        for r in requests:
+            sweeps += int(getattr(r, "steps", 1))
+            latencies.append(finished_s - r.submitted_s)
+            waits.append(started_s - r.submitted_s)
+        service = finished_s - started_s
         with self._lock:
             self._batches += 1
-            self._requests += len(requests)
-            self._sweeps += sum(
-                int(getattr(r, "steps", 1)) for r in requests
-            )
-            self._occupancy.record(len(requests))
-            self._service_s.record(finished_s - started_s)
-            for r in requests:
-                self._latency_s.record(finished_s - r.submitted_s)
-                self._queue_wait_s.record(started_s - r.submitted_s)
+            self._requests += n
+            self._sweeps += sweeps
+            self._occupancy.record(n)
+            self._service_s.record(service)
+            self._latency_s.extend(latencies)
+            self._queue_wait_s.extend(waits)
 
-    def record_error(self, requests: Sequence) -> None:
+    def record_error(self, requests: Sequence, stage: str = "execute") -> None:
+        """Account failed requests, attributed to the pipeline ``stage``
+        the failure occurred in (one of :data:`ERROR_STAGES`)."""
+        n = len(requests)
         with self._lock:
-            self._errors += len(requests)
+            self._errors += n
+            self._errors_by_stage[stage] = (
+                self._errors_by_stage.get(stage, 0) + n
+            )
 
     def record_ipc(self, payload_bytes: int) -> None:
         """Account bulk payload bytes that crossed an IPC pipe (both
@@ -166,6 +203,7 @@ class ServiceTelemetry:
                 errors=self._errors,
                 sweeps=self._sweeps,
                 ipc_payload_bytes=self._ipc_payload_bytes,
+                errors_by_stage=dict(self._errors_by_stage),
                 occupancy=self._occupancy.summary(),
                 latency_ms=self._latency_s.summary(scale=1e3),
                 queue_wait_ms=self._queue_wait_s.summary(scale=1e3),
@@ -195,10 +233,127 @@ class ServiceStats:
     #: bulk-byte transport of the process backend ("shm"/"queue");
     #: "local" for backends that share an address space (thread, sync)
     transport: str = "local"
+    #: per-stage time attribution from the span recorder
+    #: (``{stage: {count, total_s, mean_s}}``); empty unless tracing ran
+    stages: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: counter/gauge registry snapshot (coalescing, shm backpressure,
+    #: plan compiles, loop timings) — exposition-ready samples
+    metrics: Tuple[MetricSample, ...] = field(default_factory=tuple)
 
     @property
     def cache_hit_rate(self) -> float:
         return self.cache.hit_rate
+
+    def to_prometheus(self) -> str:
+        """Everything here in the Prometheus text exposition format."""
+        t = self.telemetry
+        samples: List[MetricSample] = [
+            MetricSample(
+                "repro_serve_requests_total", "counter",
+                "Requests served.", float(t.requests),
+            ),
+            MetricSample(
+                "repro_serve_sweeps_total", "counter",
+                "Stencil sweeps advanced.", float(t.sweeps),
+            ),
+            MetricSample(
+                "repro_serve_batches_total", "counter",
+                "Fused batches executed.", float(t.batches),
+            ),
+            MetricSample(
+                "repro_serve_errors_total", "counter",
+                "Requests failed.", float(t.errors),
+            ),
+            MetricSample(
+                "repro_serve_ipc_payload_bytes_total", "counter",
+                "Bulk payload bytes piped over IPC.",
+                float(t.ipc_payload_bytes),
+            ),
+            MetricSample(
+                "repro_serve_inflight_requests", "gauge",
+                "Requests submitted but not yet resolved.",
+                float(self.inflight),
+            ),
+            MetricSample(
+                "repro_serve_workers", "gauge",
+                "Worker shards.", float(self.workers),
+            ),
+            MetricSample(
+                "repro_serve_plan_cache_hits_total", "counter",
+                "Plan cache hits.", float(self.cache.hits),
+            ),
+            MetricSample(
+                "repro_serve_plan_cache_misses_total", "counter",
+                "Plan cache misses.", float(self.cache.misses),
+            ),
+            MetricSample(
+                "repro_serve_plan_cache_evictions_total", "counter",
+                "Plan cache evictions.", float(self.cache.evictions),
+            ),
+            MetricSample(
+                "repro_serve_plan_workspace_bytes", "gauge",
+                "Resident plan workspace bytes.",
+                float(self.cache.workspace_bytes),
+            ),
+        ]
+        for stage in ERROR_STAGES:
+            count = t.errors_by_stage.get(stage, 0)
+            samples.append(
+                MetricSample(
+                    "repro_serve_stage_errors_total", "counter",
+                    "Request errors by pipeline stage.", float(count),
+                    labels=(("stage", stage),),
+                )
+            )
+        for name, help_text, summary in (
+            ("repro_serve_latency_seconds",
+             "End-to-end request latency.", t.latency_ms),
+            ("repro_serve_queue_wait_seconds",
+             "Submit-to-execution-start wait.", t.queue_wait_ms),
+            ("repro_serve_batch_service_seconds",
+             "Batch execution time.", t.service_ms),
+            ("repro_serve_batch_occupancy",
+             "Requests fused per batch.", t.occupancy),
+        ):
+            # snapshot dicts are ms-scaled except occupancy (dimensionless)
+            scale = 1.0 if name.endswith("occupancy") else 1e-3
+            for q, key in (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")):
+                samples.append(
+                    MetricSample(
+                        name, "summary", help_text,
+                        summary[key] * scale, labels=(("quantile", q),),
+                    )
+                )
+            samples.append(
+                MetricSample(
+                    name, "summary", help_text,
+                    summary["mean"] * scale * summary["count"],
+                    suffix="_sum",
+                )
+            )
+            samples.append(
+                MetricSample(
+                    name, "summary", help_text, summary["count"],
+                    suffix="_count",
+                )
+            )
+        for stage, agg in sorted(self.stages.items()):
+            samples.append(
+                MetricSample(
+                    "repro_serve_stage_seconds_total", "counter",
+                    "Traced time by pipeline stage.", agg["total_s"],
+                    labels=(("stage", stage),),
+                )
+            )
+            samples.append(
+                MetricSample(
+                    "repro_serve_stage_spans_total", "counter",
+                    "Traced spans by pipeline stage.", agg["count"],
+                    labels=(("stage", stage),),
+                )
+            )
+        samples.extend(self.metrics)
+        return render_prometheus(samples)
 
 
 def format_service_report(stats: ServiceStats) -> str:
@@ -212,7 +367,17 @@ def format_service_report(stats: ServiceStats) -> str:
         f"{'requests served':<22} {t.requests}",
         f"{'sweeps advanced':<22} {t.sweeps}",
         f"{'fused batches':<22} {t.batches}",
-        f"{'errors':<22} {t.errors}",
+        f"{'errors':<22} {t.errors}"
+        + (
+            "  ("
+            + "  ".join(
+                f"{stage} {n}"
+                for stage, n in sorted(t.errors_by_stage.items())
+            )
+            + ")"
+            if t.errors_by_stage
+            else ""
+        ),
         f"{'batch occupancy':<22} mean {t.occupancy['mean']:.2f}"
         f"  max {t.occupancy['max']:.0f}",
         f"{'IPC payload':<22} {t.ipc_payload_bytes / 1e6:.2f} MB piped"
@@ -243,5 +408,15 @@ def format_service_report(stats: ServiceStats) -> str:
             lines.append(
                 f"{f'  worker[{i}] cache':<22} hits {c.hits}"
                 f"  misses {c.misses}  size {c.size}/{c.capacity}"
+            )
+    if stats.stages:
+        lines.append("stage attribution")
+        for stage, agg in sorted(
+            stats.stages.items(), key=lambda kv: -kv[1]["total_s"]
+        ):
+            lines.append(
+                f"{f'  {stage}':<22} {int(agg['count']):>6} spans"
+                f"  total {agg['total_s'] * 1e3:10.3f} ms"
+                f"  mean {agg['mean_s'] * 1e6:10.1f} us"
             )
     return "\n".join(lines)

@@ -97,9 +97,11 @@ from ..sptc.mma import MmaPrecision
 from ..stencil.grid import BoundaryCondition, Grid
 from ..stencil.spec import StencilSpec
 from .batching import BatchQueue, ServeRequest
+from .metrics import MetricsRegistry
 from .plan_cache import CacheStats, PlanCache, PlanKey, plan_key_for
 from .shm import BlockRef, SlabAllocator, SlabAttachments
 from .telemetry import ServiceTelemetry
+from .tracing import SpanRecorder, batch_context, stage_span
 
 __all__ = [
     "ServeWorker",
@@ -210,7 +212,8 @@ def _run_super_sweep(
     ):
         # exact mode — and the fused path's fallback for non-Dirichlet
         # grids or domains too small for an uncontaminated interior
-        return _chain_sweeps(plain.executor, grids, steps, out)
+        with stage_span("temporal_chain", args={"steps": steps}):
+            return _chain_sweeps(plain.executor, grids, steps, out)
     fused_spec, fused_key = _fused_spec_and_key(key, spec)
     # the fused plan compiles through a steps-carrying PlanRecipe: the
     # recipe's wire form ships the small base spec, and every consumer
@@ -229,21 +232,23 @@ def _run_super_sweep(
     # batched across the whole coalesced batch (all grids share a shape);
     # caller-supplied destinations (shm result blocks) receive the fused
     # interior directly and the ring repair patches them in place
-    outs = fused_plan.executor.run_batch_split(grids, out=out)
+    with stage_span("mac", args={"batch": len(grids), "fused_steps": steps}):
+        outs = fused_plan.executor.run_batch_split(grids, out=out)
 
     def plain_steps(datas: List[np.ndarray], t: int) -> List[np.ndarray]:
         return plain.executor.run_batch_steps(
             [Grid(d, BoundaryCondition.ZERO) for d in datas], t
         )
 
-    repair_boundary_ring(
-        [g.data for g in grids],
-        outs,
-        ring,
-        steps,
-        plain_steps,
-        lane_stride=plain.executor.L,
-    )
+    with stage_span("ring_repair", args={"ring": ring}):
+        repair_boundary_ring(
+            [g.data for g in grids],
+            outs,
+            ring,
+            steps,
+            plain_steps,
+            lane_stride=plain.executor.L,
+        )
     return outs
 
 
@@ -267,7 +272,8 @@ def execute_serve_batch(
     """
     if key.steps == 1:
         plan = cache.get_or_build(key, spec=spec)
-        return plan.executor.run_batch_split(grids, out=out)
+        with stage_span("mac", args={"batch": len(grids)}):
+            return plan.executor.run_batch_split(grids, out=out)
     return _run_super_sweep(cache, key, spec, grids, temporal_mode, out)
 
 
@@ -284,6 +290,7 @@ class ServeWorker(threading.Thread):
         telemetry: Optional[ServiceTelemetry] = None,
         clock: Callable[[], float] = time.monotonic,
         temporal_mode: str = "exact",
+        tracer: Optional[SpanRecorder] = None,
     ) -> None:
         super().__init__(name=f"spider-serve-{worker_id}", daemon=True)
         self.worker_id = worker_id
@@ -292,6 +299,7 @@ class ServeWorker(threading.Thread):
         self.device = device
         self.telemetry = telemetry
         self.temporal_mode = temporal_mode
+        self.tracer = tracer
         self._clock = clock
 
     def run(self) -> None:  # pragma: no cover - exercised via the service
@@ -309,24 +317,62 @@ class ServeWorker(threading.Thread):
         """
         started = self._clock()
         req0 = batch[0]
+        tracer = self.tracer
+        tracing = (
+            tracer is not None
+            and tracer.enabled
+            and req0.trace is not None
+        )
+        if tracing:
+            trace_id, root = req0.trace
+            track = f"shard-{self.worker_id}"
+            for r in batch:
+                if r.trace is not None:
+                    tracer.record_span(
+                        "queue",
+                        track,
+                        r.submitted_s,
+                        started - r.submitted_s,
+                        r.trace[0],
+                        parent_id=r.trace[1],
+                    )
+            tracer.record_span(
+                "coalesce",
+                track,
+                req0.submitted_s,
+                started - req0.submitted_s,
+                trace_id,
+                parent_id=root,
+                args={"batch": len(batch)},
+            )
         try:
             # execute_serve_batch materializes each result straight from
             # the plan's workspace accumulator into its own contiguous
             # array (run_batch_split), and runs steps>1 batches as one
             # in-worker temporal super-sweep
-            outs = execute_serve_batch(
-                self.cache,
-                req0.key,
-                req0.spec,
-                [r.grid for r in batch],
-                self.temporal_mode,
-            )
+            if tracing:
+                with batch_context(tracer, trace_id, root, track):
+                    outs = execute_serve_batch(
+                        self.cache,
+                        req0.key,
+                        req0.spec,
+                        [r.grid for r in batch],
+                        self.temporal_mode,
+                    )
+            else:
+                outs = execute_serve_batch(
+                    self.cache,
+                    req0.key,
+                    req0.spec,
+                    [r.grid for r in batch],
+                    self.temporal_mode,
+                )
         except Exception as exc:
             finished = self._clock()
             for r in batch:
                 r._fail(exc, started_s=started, finished_s=finished)
             if self.telemetry is not None:
-                self.telemetry.record_error(batch)
+                self.telemetry.record_error(batch, stage="execute")
             return
         finished = self._clock()
         for r, out in zip(batch, outs):
@@ -336,6 +382,26 @@ class ServeWorker(threading.Thread):
                 started_s=started,
                 finished_s=finished,
             )
+        resolved = self._clock()
+        if tracing:
+            tracer.record_span(
+                "resolve",
+                track,
+                finished,
+                resolved - finished,
+                trace_id,
+                parent_id=root,
+            )
+            for r in batch:
+                if r.trace is not None:
+                    tracer.record_span(
+                        "request",
+                        track,
+                        r.submitted_s,
+                        finished - r.submitted_s,
+                        r.trace[0],
+                        span_id=r.trace[1],
+                    )
         if self.telemetry is not None:
             self.telemetry.record_batch(batch, started, finished)
 
@@ -419,6 +485,20 @@ def _decode_batch(
     return grids, outs
 
 
+def _drain_rel_spans(
+    tracer: SpanRecorder, started: float, trace_on: bool
+) -> Optional[List[Tuple[str, float, float]]]:
+    """Harvest a worker batch's spans as ``(name, start - batch start,
+    duration)`` triples — durations and offsets only, never absolute
+    worker-clock readings, so the parent can re-anchor them on its own
+    monotonic clock (see :meth:`WorkerPool._dispatch_results`)."""
+    if not trace_on:
+        return None
+    return [
+        (s.name, s.start_s - started, s.dur_s) for s in tracer.drain()
+    ]
+
+
 def _process_worker_main(
     worker_id: int,
     task_q,
@@ -453,38 +533,47 @@ def _process_worker_main(
     cache = PlanCache(capacity=cache_capacity, device=device)
     attachments = SlabAttachments()
     clock = time.monotonic
+    # worker-local span recorder: spans ship back as (name, start
+    # relative to batch start, duration) triples — durations only ever
+    # cross the process boundary, so the parent can re-anchor them on its
+    # own clock exactly like the service-duration accounting
+    tracer = SpanRecorder()
     try:
         while True:
             msg = task_q.get()
             if msg is None:
                 result_q.put(("exit", worker_id, cache.stats()))
                 return
-            req_ids, key_dict, spec_dict, submitted, payload = msg
+            req_ids, key_dict, spec_dict, submitted, payload, trace_on = msg
+            tracer.enabled = bool(trace_on)
             started = clock()
             try:
-                key = PlanKey.from_dict(key_dict)
-                spec = StencilSpec.from_dict(spec_dict)
-                grids, outs = _decode_batch(
-                    attachments, payload, key.precision
-                )
-                if outs is not None:
-                    # shm batch with a reserved result block: the executor
-                    # materializes results straight into the result slab
-                    # (no intermediate arrays, descriptor-only reply)
-                    execute_serve_batch(
-                        cache, key, spec, grids, temporal_mode, out=outs
-                    )
-                    results = ("shm",)
-                else:
-                    # queue transport, or the slab-cap fallback (grids
-                    # and/or results too big to reserve): results ride
-                    # the pipe as pickled arrays
-                    results = (
-                        "raw",
+                with batch_context(tracer, 0, None, "worker"):
+                    with stage_span("decode"):
+                        key = PlanKey.from_dict(key_dict)
+                        spec = StencilSpec.from_dict(spec_dict)
+                        grids, outs = _decode_batch(
+                            attachments, payload, key.precision
+                        )
+                    if outs is not None:
+                        # shm batch with a reserved result block: the
+                        # executor materializes results straight into the
+                        # result slab (no intermediate arrays,
+                        # descriptor-only reply)
                         execute_serve_batch(
-                            cache, key, spec, grids, temporal_mode
-                        ),
-                    )
+                            cache, key, spec, grids, temporal_mode, out=outs
+                        )
+                        results = ("shm",)
+                    else:
+                        # queue transport, or the slab-cap fallback (grids
+                        # and/or results too big to reserve): results ride
+                        # the pipe as pickled arrays
+                        results = (
+                            "raw",
+                            execute_serve_batch(
+                                cache, key, spec, grids, temporal_mode
+                            ),
+                        )
             except Exception as exc:
                 result_q.put(
                     (
@@ -495,6 +584,7 @@ def _process_worker_main(
                         _picklable_exc(exc),
                         clock() - started,
                         cache.stats(),
+                        _drain_rel_spans(tracer, started, trace_on),
                     )
                 )
                 continue
@@ -507,6 +597,7 @@ def _process_worker_main(
                     results,
                     clock() - started,
                     cache.stats(),
+                    _drain_rel_spans(tracer, started, trace_on),
                 )
             )
             # drop slab views before the next dequeue: the parent frees
@@ -567,6 +658,8 @@ class WorkerPool:
         slab_initial_bytes: int = 1 << 20,
         slab_max_bytes: int = 8 << 20,
         temporal_mode: str = "exact",
+        tracer: Optional[SpanRecorder] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -589,10 +682,30 @@ class WorkerPool:
         self.transport = transport if backend == "process" else "local"
         self.temporal_mode = temporal_mode
         self.telemetry = telemetry
+        self.tracer = tracer
+        self.metrics = metrics
+        self._feeder_busy = self._dispatcher_busy = None
+        self._dead_shard_counter = None
+        if metrics is not None:
+            self._feeder_busy = metrics.counter(
+                "repro_serve_feeder_busy_seconds_total",
+                "Parent-side feeder time spent packing and shipping.",
+            )
+            self._dispatcher_busy = metrics.counter(
+                "repro_serve_dispatcher_busy_seconds_total",
+                "Parent-side dispatcher time spent resolving results.",
+            )
+            self._dead_shard_counter = metrics.counter(
+                "repro_serve_dead_shards_total",
+                "Worker shards that died without an exit sentinel.",
+            )
         self.queues: List[BatchQueue] = [
             BatchQueue(max_batch_size=max_batch_size, max_wait_s=max_wait_s)
             for _ in range(num_workers)
         ]
+        if metrics is not None:
+            for q in self.queues:
+                q.bind_metrics(metrics)
         if backend == "thread":
             self.caches: List[PlanCache] = [
                 PlanCache(capacity=cache_capacity, device=device)
@@ -606,6 +719,7 @@ class WorkerPool:
                     device=device,
                     telemetry=telemetry,
                     temporal_mode=temporal_mode,
+                    tracer=tracer,
                 )
                 for i in range(num_workers)
             ]
@@ -629,6 +743,18 @@ class WorkerPool:
             else None
             for _ in range(num_workers)
         ]
+        if metrics is not None and self.transport == "shm":
+            for slabs in self._slabs:
+                slabs[0].bind_metrics(metrics)
+                slabs[1].bind_metrics(metrics)
+            metrics.gauge(
+                "repro_serve_shm_slab_bytes",
+                "Shared memory reserved across all shard slab pairs.",
+            ).set_function(
+                lambda: sum(
+                    self.slab_nbytes(i) for i in range(num_workers)
+                )
+            )
         # req_id -> (shard, request): the shard index lets worker-death
         # handling fail exactly the requests the dead shard owned
         self._pending: Dict[int, Tuple[int, ServeRequest]] = {}
@@ -638,6 +764,9 @@ class WorkerPool:
         self._batch_blocks: Dict[
             int, Tuple[int, Optional[BlockRef], Optional[BlockRef]]
         ] = {}
+        # first-req-id-of-batch -> parent-clock ship timestamp; populated
+        # only while tracing (the dispatcher turns it into the ipc span)
+        self._batch_shipped: Dict[int, float] = {}
         self._pending_lock = threading.Lock()
         # shards whose worker died without its exit sentinel; submit()
         # rejects them and the feeder fails anything already queued
@@ -843,11 +972,30 @@ class WorkerPool:
         reading in one clock domain (see :meth:`_dispatch_results`).
         """
         queue, task_q = self.queues[shard], self._task_qs[shard]
+        track = f"feeder-{shard}"
         while True:
             batch = queue.get_batch()
             if batch is None:
                 task_q.put(None)
                 return
+            loop_t0 = time.monotonic()
+            tracer = self.tracer
+            tracing = (
+                tracer is not None
+                and tracer.enabled
+                and batch[0].trace is not None
+            )
+            if tracing:
+                trace_id, root = batch[0].trace
+                tracer.record_span(
+                    "coalesce",
+                    track,
+                    batch[0].submitted_s,
+                    loop_t0 - batch[0].submitted_s,
+                    trace_id,
+                    parent_id=root,
+                    args={"batch": len(batch)},
+                )
             with self._pending_lock:
                 for r in batch:
                     self._pending[r.req_id] = (shard, r)
@@ -866,9 +1014,37 @@ class WorkerPool:
             if dead:
                 self._fail_dead_shard_batch(shard, batch)
                 continue
-            payload, tb, rb, ipc_bytes = self._build_batch_payload(
-                shard, batch
-            )
+            try:
+                pack_t0 = time.monotonic()
+                payload, tb, rb, ipc_bytes = self._build_batch_payload(
+                    shard, batch
+                )
+                pack_t1 = time.monotonic()
+            except Exception as exc:
+                # a payload-build failure must fail its batch, not
+                # silently kill this feeder thread and hang the callers
+                with self._pending_lock:
+                    batch = [
+                        self._pending.pop(r.req_id)[1]
+                        for r in batch
+                        if r.req_id in self._pending
+                    ]
+                now = time.monotonic()
+                for r in batch:
+                    r._fail(exc, started_s=now, finished_s=now)
+                if self.telemetry is not None:
+                    self.telemetry.record_error(batch, stage="pack")
+                continue
+            if tracing:
+                tracer.record_span(
+                    "pack",
+                    track,
+                    pack_t0,
+                    pack_t1 - pack_t0,
+                    trace_id,
+                    parent_id=root,
+                    args={"ipc_bytes": ipc_bytes},
+                )
             # re-check death unconditionally: alloc_blocking aborts its
             # backpressure wait when the shard dies, and shipping the
             # fallback payload anyway would pickle grids into a queue
@@ -886,6 +1062,10 @@ class WorkerPool:
             if ipc_bytes and self.telemetry is not None:
                 self.telemetry.record_ipc(ipc_bytes)
             req0 = batch[0]
+            shipped = time.monotonic()
+            if tracing:
+                with self._pending_lock:
+                    self._batch_shipped[req0.req_id] = shipped
             task_q.put(
                 (
                     [r.req_id for r in batch],
@@ -893,8 +1073,11 @@ class WorkerPool:
                     req0.spec.to_dict(),
                     [r.submitted_s for r in batch],
                     payload,
+                    tracing,
                 )
             )
+            if self._feeder_busy is not None:
+                self._feeder_busy.inc(shipped - loop_t0)
 
     def _dispatch_results(self) -> None:
         """Parent-side result loop: resolve futures, aggregate telemetry.
@@ -930,6 +1113,7 @@ class WorkerPool:
             except std_queue.Empty:
                 self._reap_dead_workers(exited)
                 continue
+            handle_t0 = time.monotonic()
             reqs: List[ServeRequest] = []
             try:
                 kind, worker_id = msg[0], msg[1]
@@ -938,7 +1122,16 @@ class WorkerPool:
                         self._shard_stats[worker_id] = msg[2]
                     exited[worker_id] = True
                     continue
-                _, _, req_ids, submitted, payload, service_dur, stats = msg
+                (
+                    _,
+                    _,
+                    req_ids,
+                    submitted,
+                    payload,
+                    service_dur,
+                    stats,
+                    wspans,
+                ) = msg
                 finished = time.monotonic()
                 started = finished - float(service_dur)
                 if submitted:
@@ -955,7 +1148,48 @@ class WorkerPool:
                     # the reaper returned the batch's blocks)
                     entries = [self._pending.pop(i, None) for i in req_ids]
                     blocks = self._batch_blocks.pop(req_ids[0], None)
+                    shipped = self._batch_shipped.pop(req_ids[0], None)
                 reqs = [e[1] for e in entries if e is not None]
+                tracer = self.tracer
+                trace = next(
+                    (r.trace for r in reqs if r.trace is not None), None
+                )
+                tracing = (
+                    tracer is not None
+                    and tracer.enabled
+                    and trace is not None
+                )
+                if tracing:
+                    trace_id, root = trace
+                    track = f"shard-{worker_id}"
+                    if shipped is not None:
+                        # everything between ship and receipt that was not
+                        # the worker's measured service time is transport:
+                        # queue pickling, pipe transit, scheduler latency
+                        tracer.record_span(
+                            "ipc",
+                            track,
+                            shipped,
+                            max(
+                                0.0,
+                                (finished - shipped) - float(service_dur),
+                            ),
+                            trace_id,
+                            parent_id=root,
+                        )
+                    # worker spans arrive as (name, start relative to the
+                    # worker's batch start, duration): re-anchor on the
+                    # parent-clock `started` estimate — offsets and
+                    # durations only, no cross-process clock reading
+                    for name, rel, dur in wspans or ():
+                        tracer.record_span(
+                            name,
+                            track,
+                            started + max(0.0, float(rel)),
+                            float(dur),
+                            trace_id,
+                            parent_id=root,
+                        )
                 if kind == "err":
                     if blocks is not None:
                         self._free_blocks(*blocks)
@@ -964,9 +1198,10 @@ class WorkerPool:
                             payload, started_s=started, finished_s=finished
                         )
                     if self.telemetry is not None:
-                        self.telemetry.record_error(reqs)
+                        self.telemetry.record_error(reqs, stage="execute")
                     continue
                 ipc_bytes = 0
+                unpack_t0 = time.monotonic()
                 try:
                     if payload[0] == "shm":
                         if blocks is None or blocks[2] is None:
@@ -986,11 +1221,21 @@ class WorkerPool:
                 finally:
                     if blocks is not None:
                         self._free_blocks(*blocks)
+                if tracing:
+                    tracer.record_span(
+                        "unpack",
+                        track,
+                        unpack_t0,
+                        time.monotonic() - unpack_t0,
+                        trace_id,
+                        parent_id=root,
+                    )
                 if outs is None and reqs:
                     raise RuntimeError(
                         "shm result arrived for a batch whose blocks are "
                         "gone (reaped or never reserved)"
                     )
+                resolve_t0 = time.monotonic()
                 for e, out in zip(entries, outs or ()):
                     if e is None:
                         continue
@@ -1000,6 +1245,34 @@ class WorkerPool:
                         started_s=started,
                         finished_s=finished,
                     )
+                if tracing:
+                    tracer.record_span(
+                        "resolve",
+                        track,
+                        resolve_t0,
+                        time.monotonic() - resolve_t0,
+                        trace_id,
+                        parent_id=root,
+                    )
+                    for r in reqs:
+                        if r.trace is None:
+                            continue
+                        tracer.record_span(
+                            "queue",
+                            track,
+                            r.submitted_s,
+                            max(0.0, started - r.submitted_s),
+                            r.trace[0],
+                            parent_id=r.trace[1],
+                        )
+                        tracer.record_span(
+                            "request",
+                            track,
+                            r.submitted_s,
+                            finished - r.submitted_s,
+                            r.trace[0],
+                            span_id=r.trace[1],
+                        )
                 if self.telemetry is not None:
                     if ipc_bytes:
                         self.telemetry.record_ipc(ipc_bytes)
@@ -1010,9 +1283,16 @@ class WorkerPool:
                 now = time.monotonic()
                 if not reqs:
                     reqs = self._pop_ids_from_malformed(msg)
-                for r in reqs:
-                    if not r.done():
-                        r._fail(exc, started_s=now, finished_s=now)
+                failed = [r for r in reqs if not r.done()]
+                for r in failed:
+                    r._fail(exc, started_s=now, finished_s=now)
+                if failed and self.telemetry is not None:
+                    self.telemetry.record_error(failed, stage="resolve")
+            finally:
+                if self._dispatcher_busy is not None:
+                    self._dispatcher_busy.inc(
+                        time.monotonic() - handle_t0
+                    )
 
     def _pop_ids_from_malformed(self, msg) -> List[ServeRequest]:
         """Best-effort request extraction from a message that failed to
@@ -1031,6 +1311,8 @@ class WorkerPool:
                 for i in ids
                 if i in self._batch_blocks
             ]
+            for i in ids:
+                self._batch_shipped.pop(i, None)
         for b in blocks:
             self._free_blocks(*b)
         return [e[1] for e in entries]
@@ -1048,7 +1330,7 @@ class WorkerPool:
         for r in batch:
             r._fail(exc, started_s=now, finished_s=now)
         if self.telemetry is not None:
-            self.telemetry.record_error(batch)
+            self.telemetry.record_error(batch, stage="ipc")
 
     def _reap_dead_workers(self, exited: List[bool]) -> None:
         """Treat a dead-without-sentinel worker as exited: mark its shard
@@ -1059,6 +1341,8 @@ class WorkerPool:
             if exited[i] or p.is_alive():
                 continue
             exited[i] = True
+            if self._dead_shard_counter is not None:
+                self._dead_shard_counter.inc()
             with self._pending_lock:
                 self._dead_shards.add(i)
                 dead_ids = [
@@ -1073,6 +1357,10 @@ class WorkerPool:
                     if shard == i
                 ]
                 blocks = [self._batch_blocks.pop(bid) for bid in block_ids]
+                # shipped stamps are keyed by a batch's first req id,
+                # which is always among the shard's dead pending ids
+                for rid in dead_ids:
+                    self._batch_shipped.pop(rid, None)
             for b in blocks:
                 self._free_blocks(*b)
             self._fail_dead_shard_batch(i, dead)
