@@ -13,6 +13,7 @@ Usage::
     python -m repro serve-bench --requests 1000 --workers 4
     python -m repro serve-bench --steps 4 --backend process
     python -m repro serve-bench --backend process --transport queue
+    python -m repro serve-bench --workers 1 --mac-threads 4
 """
 
 from __future__ import annotations
@@ -143,6 +144,7 @@ def _cmd_serve_bench(args) -> int:
         transport=args.transport,
         temporal_mode=args.temporal_mode,
         trace=trace_path is not None,
+        mac_threads=args.mac_threads,
     ) as svc:
         start = time.perf_counter()
         for r in requests:
@@ -179,6 +181,7 @@ def _cmd_serve_bench(args) -> int:
                     "transport": stats.transport,
                     "steps": args.steps,
                     "temporal_mode": args.temporal_mode,
+                    "mac_threads": stats.mac_threads,
                     "sweeps": t.sweeps,
                     "throughput_rps": throughput,
                     "sweeps_per_s": sweeps_per_s,
@@ -227,6 +230,7 @@ def _cmd_trace(args) -> int:
         transport=args.transport,
         temporal_mode=args.temporal_mode,
         trace=True,
+        mac_threads=args.mac_threads,
     ) as svc:
         start = time.perf_counter()
         for r in requests:
@@ -249,6 +253,16 @@ def _cmd_trace(args) -> int:
         totals[s]["total_s"] for s in EXECUTION_STAGES if s in totals
     )
     print(format_stage_table(totals))
+    gemm = totals.get("mac.gemm")
+    mac_line = f"  {'mac threads':<16} {stats.mac_threads} per shard"
+    if gemm is not None and stats.telemetry.batches:
+        # >1 gemm blocks/batch means the MAC actually spread over its
+        # thread budget on this box (one span per column block)
+        mac_line += (
+            f" ({gemm['count'] / stats.telemetry.batches:.1f} gemm "
+            f"blocks/batch, {gemm['total_s'] * 1e3:.2f} ms total)"
+        )
+    print(mac_line)
     print(
         f"  {'requests':<16} {len(requests)} in {elapsed:.3f}s "
         f"({len(requests) / elapsed:.1f} req/s)"
@@ -353,6 +367,14 @@ def build_parser() -> argparse.ArgumentParser:
         "GEMM plus exact boundary-ring repair",
     )
     p.add_argument(
+        "--mac-threads",
+        type=int,
+        default=None,
+        help="ordered-MAC threads per worker shard (default: adaptive — "
+        "REPRO_MAC_THREADS or cpu_count // workers; results are "
+        "bit-identical for every value)",
+    )
+    p.add_argument(
         "--shapes",
         default=None,
         help="comma list of named stencils or paper ids (default mix)",
@@ -396,6 +418,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=1)
     p.add_argument(
         "--temporal-mode", choices=["exact", "fused"], default="exact"
+    )
+    p.add_argument(
+        "--mac-threads",
+        type=int,
+        default=None,
+        help="ordered-MAC threads per worker shard (default: adaptive)",
     )
     p.add_argument(
         "--shapes",

@@ -58,6 +58,7 @@ from ..gpu.memory import AccessAudit, audit_warp_access
 from ..sptc.formats import Sparse24Matrix
 from ..sptc.fused import FusedStencilOperator
 from ..sptc.instruction import InstructionStream
+from ..sptc.macpool import split_ranges
 from ..sptc.mma import MmaPrecision
 from ..sptc.mma_sp import (
     mma_sp_lanewise,
@@ -91,7 +92,12 @@ def set_stage_hook(
 
 
 def _rebuild_executor(
-    spec_dict: dict, precision: str, use_sptc: bool, batch_rows: int
+    spec_dict: dict,
+    precision: str,
+    use_sptc: bool,
+    batch_rows: int,
+    mac_threads: Optional[int] = None,
+    mac_col_block: Optional[int] = None,
 ) -> "SpiderExecutor":
     """Unpickle hook for :class:`SpiderExecutor` (module-level for pickle)."""
     return SpiderExecutor(
@@ -99,6 +105,8 @@ def _rebuild_executor(
         precision,
         use_sptc=use_sptc,
         batch_rows=batch_rows,
+        mac_threads=mac_threads,
+        mac_col_block=mac_col_block,
     )
 
 
@@ -303,10 +311,26 @@ class SpiderExecutor:
         Line-block granularity of the fused pipeline (and of the per-row
         reference path's X construction), to bound peak workspace memory
         on large grids.
+    mac_threads / mac_col_block:
+        Ordered-MAC parallelism plan parameters, forwarded to the fused
+        operator (see :class:`~repro.sptc.fused.FusedStencilOperator`):
+        thread count (``None`` = adaptive — ``REPRO_MAC_THREADS`` or the
+        usable core count) and column-block width.  Bit-identical output
+        for every setting; carried through pickling as the *requested*
+        values so a rehydrated executor re-resolves in its own
+        environment.
     """
 
     #: workspaces kept per executor (distinct (batch, shape) geometries)
     MAX_WORKSPACES = 8
+
+    #: per-grid padded-element floor below which batch padding stays
+    #: serial (a small pad loop is cheaper than pool dispatch)
+    PAD_PARALLEL_MIN = 1 << 15
+
+    #: gathered-element floor (``n_x_rows * cells``) below which the
+    #: X-row gather stays serial
+    GATHER_PARALLEL_MIN = 1 << 16
 
     def __init__(
         self,
@@ -315,6 +339,8 @@ class SpiderExecutor:
         *,
         use_sptc: bool = True,
         batch_rows: int = 512,
+        mac_threads: Optional[int] = None,
+        mac_col_block: Optional[int] = None,
     ) -> None:
         self.spec = spec
         self.precision = MmaPrecision.validate(precision)
@@ -322,6 +348,8 @@ class SpiderExecutor:
         self.batch_rows = int(batch_rows)
         if self.batch_rows < 1:
             raise ValueError("batch_rows must be >= 1")
+        self.mac_threads = mac_threads
+        self.mac_col_block = mac_col_block
         self.stream = InstructionStream()
 
         rows, self._lead_radius = _kernel_row_table(spec)
@@ -337,7 +365,11 @@ class SpiderExecutor:
         self.n_rows = rows.shape[0]
         # AOT stage ➍: the fused block operator K_all (m = n_rows * L)
         self._fused = build_fused_operator(
-            self._encoded, self.precision, use_sptc=use_sptc
+            self._encoded,
+            self.precision,
+            use_sptc=use_sptc,
+            mac_threads=mac_threads,
+            mac_col_block=mac_col_block,
         )
         self._lead_offset_table: Tuple[Tuple[int, ...], ...] = tuple(
             self._lead_offsets(q) for q in range(self.n_rows)
@@ -363,6 +395,8 @@ class SpiderExecutor:
                 self.precision,
                 self.use_sptc,
                 self.batch_rows,
+                self.mac_threads,
+                self.mac_col_block,
             ),
         )
 
@@ -406,6 +440,15 @@ class SpiderExecutor:
                 _, ws = self._workspaces.popitem(last=False)
                 freed += ws.nbytes()
         return int(freed)
+
+    def release_mac_pool(self) -> None:
+        """Shut down the fused operator's MAC pool threads (idempotent).
+
+        The serving plan cache calls this on eviction and trim so an
+        evicted plan never leaves parked helper threads behind; the pool
+        re-creates lazily if the plan executes again.
+        """
+        self._fused.shutdown_pool()
 
     def run(self, grid: Grid) -> np.ndarray:
         """One stencil sweep; returns the updated interior.
@@ -633,14 +676,31 @@ class SpiderExecutor:
         )
         if emit is not None:
             t_pad = time.monotonic()
+        # per-grid pads write disjoint padded_grids[b] slices, so large
+        # batches spread over the MAC pool (order-free: no grid's halo
+        # reads another grid's buffer)
         if pad_mode == "center":
             r = self.spec.radius
             center = tuple(slice(r, r + s) for s in shape)
-            for b, (data, _) in enumerate(sources):
-                padded_grids[b][center] = data
+
+            def pad_one(b: int) -> None:
+                padded_grids[b][center] = sources[b][0]
+
         else:
-            for b, (data, bc) in enumerate(sources):
+
+            def pad_one(b: int) -> None:
+                data, bc = sources[b]
                 self._pad_into(data, bc, padded_grids[b])
+
+        if (
+            op.mac_threads > 1
+            and B >= 2
+            and padded_grids[0].size >= self.PAD_PARALLEL_MIN
+        ):
+            op.map_tasks(pad_one, [(b,) for b in range(B)])
+        else:
+            for b in range(B):
+                pad_one(b)
         if emit is not None:
             emit("mac.pad", t_pad, time.monotonic() - t_pad)
         # (line, chunk, lane) view: element [p, j, t] = padded[p, j*L + t],
@@ -659,39 +719,57 @@ class SpiderExecutor:
             # einsum's ordered kernel needs >= 2 columns; pad with zeros
             # (slicing back to `cells` is a view: the pad sits at the end)
             n_exec = max(cells, 2)
+            gather_parallel = (
+                op.mac_threads > 1
+                and n_x >= 2
+                and n_x * cells >= self.GATHER_PARALLEL_MIN
+            )
             if fp16:
                 x16 = ws.x16_flat[: n_x * n_exec].reshape(n_x, n_exec)
                 if n_exec > cells:
                     x16[:, cells:] = 0
-                x16_3 = x16[:, :cells].reshape(n_x, pl, chunks)
-                for i in range(n_x):
-                    sh, t = op.x_row_shift[i], op.x_row_lane[i]
-                    np.copyto(x16_3[i], block[:, sh : sh + chunks, t])
-                x32 = ws.x32_flat[: n_x * n_exec].reshape(n_x, n_exec)
-                np.copyto(x32, x16)
-                x2 = x32
+                x3 = x16[:, :cells].reshape(n_x, pl, chunks)
             else:
                 x2 = ws.x_flat[: n_x * n_exec].reshape(n_x, n_exec)
                 if n_exec > cells:
                     x2[:, cells:] = 0
                 x3 = x2[:, :cells].reshape(n_x, pl, chunks)
-                for i in range(n_x):
+
+            # each compact X row is a disjoint strided copy, so row
+            # ranges spread over the MAC pool when the gather is large
+            def gather_rows(i0: int, i1: int) -> None:
+                for i in range(i0, i1):
                     sh, t = op.x_row_shift[i], op.x_row_lane[i]
                     np.copyto(x3[i], block[:, sh : sh + chunks, t])
+
+            if gather_parallel:
+                op.map_tasks(
+                    gather_rows, split_ranges(n_x, 2 * op.mac_threads)
+                )
+            else:
+                gather_rows(0, n_x)
+            if fp16:
+                x32 = ws.x32_flat[: n_x * n_exec].reshape(n_x, n_exec)
+                np.copyto(x32, x16)
+                x2 = x32
             y2 = ws.y_flat[: op.m_active * n_exec].reshape(
                 op.m_active, n_exec
             )
             if emit is not None:
                 t_gemm = time.monotonic()
                 emit("mac.gather", t_gather, t_gemm - t_gather)
-            op.execute(x2, out=y2, stream=self.stream)
+            # the operator emits one mac.gemm span per column block
+            # itself (from whichever pool thread ran the block)
+            op.execute(x2, out=y2, stream=self.stream, emit=emit)
             if emit is not None:
                 t_scatter = time.monotonic()
-                emit("mac.gemm", t_gemm, t_scatter - t_gemm)
             y3 = y2[:, :cells].reshape(op.m_active, pl, chunks)
             # scatter-accumulate each kernel row's block in ascending q;
             # a line's contributions arrive in ascending q because its
-            # padded-line index is strictly increasing in q
+            # padded-line index is strictly increasing in q.  This stage
+            # stays serial even under mac_threads > 1: different q ranges
+            # overlap in acc, and the ascending-q accumulation order *is*
+            # the numerics contract
             for qi, q in enumerate(op.active_kernel_rows):
                 rc = ws.row_cols[q, :n_lines]
                 lo = int(np.searchsorted(rc, p0, side="left"))

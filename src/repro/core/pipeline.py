@@ -136,6 +136,13 @@ class PlanRecipe:
     device: DeviceSpec
     grid_shape: Optional[Tuple[int, ...]] = None
     steps: int = 1
+    #: ordered-MAC parallelism plan parameters (``None`` = adaptive /
+    #: operator default).  Deliberately the *requested* values, so a
+    #: recipe rehydrated in another process re-resolves the adaptive
+    #: default against that process's budget; either way the built plan's
+    #: numerics are thread-count-invariant.
+    mac_threads: Optional[int] = None
+    mac_col_block: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.steps < 1:
@@ -151,11 +158,23 @@ class PlanRecipe:
                 None if self.grid_shape is None else list(self.grid_shape)
             ),
             "steps": int(self.steps),
+            "mac_threads": (
+                None if self.mac_threads is None else int(self.mac_threads)
+            ),
+            "mac_col_block": (
+                None
+                if self.mac_col_block is None
+                else int(self.mac_col_block)
+            ),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "PlanRecipe":
+        """Inverse of :meth:`to_dict`; tolerates legacy dicts without
+        ``steps`` or the MAC parallelism keys."""
         shape = data.get("grid_shape")
+        mac_threads = data.get("mac_threads")
+        mac_col_block = data.get("mac_col_block")
         return cls(
             spec=StencilSpec.from_dict(data["spec"]),
             precision=MmaPrecision.validate(data["precision"]),
@@ -163,6 +182,10 @@ class PlanRecipe:
             device=DeviceSpec.from_dict(data["device"]),
             grid_shape=None if shape is None else tuple(int(s) for s in shape),
             steps=int(data.get("steps", 1)),
+            mac_threads=None if mac_threads is None else int(mac_threads),
+            mac_col_block=(
+                None if mac_col_block is None else int(mac_col_block)
+            ),
         )
 
     def build(self) -> "CompilePlan":
@@ -178,6 +201,8 @@ class PlanRecipe:
             variant=self.variant,
             device=self.device,
             grid_shape=self.grid_shape,
+            mac_threads=self.mac_threads,
+            mac_col_block=self.mac_col_block,
         )
 
 
@@ -244,6 +269,8 @@ class CompilePlan:
             grid_shape=(
                 None if self.tile_plan is None else self.tile_plan.grid_shape
             ),
+            mac_threads=self.executor.mac_threads,
+            mac_col_block=self.executor.mac_col_block,
         )
 
     def __reduce__(self):
@@ -266,6 +293,8 @@ def build_compile_plan(
     variant: SpiderVariant = SpiderVariant.SPTC_CO,
     device: DeviceSpec = A100_80GB_PCIE,
     grid_shape: Optional[Tuple[int, ...]] = None,
+    mac_threads: Optional[int] = None,
+    mac_col_block: Optional[int] = None,
 ) -> CompilePlan:
     """Run the whole AOT pipeline once and bundle the artifacts.
 
@@ -273,10 +302,17 @@ def build_compile_plan(
     cache go through, so a cached plan is byte-for-byte the same object a
     fresh ``Spider(spec)`` would have built.  ``grid_shape`` additionally
     binds a tile plan (1D/2D grids only; 3D executors tile per-request).
+    ``mac_threads`` / ``mac_col_block`` configure the ordered MAC's
+    column-block parallelism (bit-identical output for every setting; the
+    serving layer passes per-shard thread budgets through here).
     """
     precision = MmaPrecision.validate(precision)
     executor = SpiderExecutor(
-        spec, precision, use_sptc=variant is not SpiderVariant.TC
+        spec,
+        precision,
+        use_sptc=variant is not SpiderVariant.TC,
+        mac_threads=mac_threads,
+        mac_col_block=mac_col_block,
     )
     tile_plan: Optional[TilePlan] = None
     if grid_shape is not None and len(grid_shape) <= 2:

@@ -219,6 +219,13 @@ class PlanCache:
         evicted — a temporal super-sweep keeps a plain/fused plan pair in
         flight — so an oversized working set can exceed the cap rather
         than thrash forever.
+    mac_threads, mac_col_block:
+        Ordered-MAC parallelism plan parameters handed to every plan this
+        cache compiles (requested values — ``None`` means resolve
+        adaptively at build time).  Plans own persistent MAC thread pools,
+        so every path that drops a plan (LRU overflow, byte-cap eviction,
+        :meth:`clear`) shuts the evicted plan's pool down first; a cached
+        plan must never leak parked threads.
     """
 
     def __init__(
@@ -226,6 +233,8 @@ class PlanCache:
         capacity: int = 64,
         device: DeviceSpec = A100_80GB_PCIE,
         max_workspace_bytes: Optional[int] = None,
+        mac_threads: Optional[int] = None,
+        mac_col_block: Optional[int] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -237,6 +246,12 @@ class PlanCache:
         self.device = device
         self.max_workspace_bytes = (
             None if max_workspace_bytes is None else int(max_workspace_bytes)
+        )
+        self.mac_threads = (
+            None if mac_threads is None else int(mac_threads)
+        )
+        self.mac_col_block = (
+            None if mac_col_block is None else int(mac_col_block)
         )
         self._entries: "OrderedDict[PlanKey, CompilePlan]" = OrderedDict()
         self._lock = threading.RLock()
@@ -292,7 +307,8 @@ class PlanCache:
             self._entries[key] = plan
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                _, evicted = self._entries.popitem(last=False)
+                evicted.executor.release_mac_pool()
                 self._evictions += 1
             self._enforce_bytes_locked()
 
@@ -324,8 +340,9 @@ class PlanCache:
             total -= freed
             if total <= limit:
                 return
-        for i, (key, _) in enumerate(entries[:-2]):
+        for i, (key, plan) in enumerate(entries[:-2]):
             del self._entries[key]
+            plan.executor.release_mac_pool()
             self._evictions += 1
             total -= sizes[i]
             if total <= limit:
@@ -339,16 +356,32 @@ class PlanCache:
         lazily if they recur.  Returns the number of bytes freed.  This is
         the maintenance valve for fused high-radius plans, whose per-
         geometry workspaces are large even when only one shape is hot.
+        MAC thread pools are released alongside the arenas (they re-create
+        lazily on the next parallel execute), so a trimmed cache parks no
+        helper threads.
         """
         if keep_geometries < 0:
             raise ValueError(
                 f"keep_geometries must be >= 0, got {keep_geometries}"
             )
         with self._lock:
-            return sum(
-                p.executor.trim_workspaces(keep_geometries)
-                for p in self._entries.values()
-            )
+            freed = 0
+            for p in self._entries.values():
+                freed += p.executor.trim_workspaces(keep_geometries)
+                p.executor.release_mac_pool()
+            return freed
+
+    def release_pools(self) -> None:
+        """Shut down every resident plan's MAC thread pool.
+
+        Plans stay resident (compiled artifacts and stats are untouched);
+        pools re-create lazily if a plan executes again.  The worker pool
+        calls this on close so a closed service leaves no parked
+        ``repro-mac`` threads behind while its stats remain queryable.
+        """
+        with self._lock:
+            for p in self._entries.values():
+                p.executor.release_mac_pool()
 
     def get_or_build(
         self,
@@ -389,6 +422,8 @@ class PlanCache:
                         variant=SpiderVariant(key.variant),
                         device=self.device,
                         grid_shape=key.tile_key or None,
+                        mac_threads=self.mac_threads,
+                        mac_col_block=self.mac_col_block,
                     )
                 else:
                     built = builder()
@@ -414,6 +449,8 @@ class PlanCache:
             )
 
     def clear(self) -> None:
-        """Drop all plans (counters are kept)."""
+        """Drop all plans (counters are kept; MAC pools are shut down)."""
         with self._lock:
+            for p in self._entries.values():
+                p.executor.release_mac_pool()
             self._entries.clear()

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..core.pipeline import SpiderVariant
 from ..gpu.device import A100_80GB_PCIE, DeviceSpec
+from ..sptc.macpool import resolve_mac_threads
 from ..sptc.mma import MmaPrecision
 from ..stencil.grid import Grid
 from ..stencil.spec import StencilSpec
@@ -102,6 +103,18 @@ class StencilService:
     exact_telemetry:
         Use exact-sample histograms instead of the bounded streaming ones
         (finite bench runs that want exact percentiles).
+    mac_threads:
+        Per-shard ordered-MAC thread budget.  ``None`` (default) resolves
+        adaptively — ``REPRO_MAC_THREADS`` or ``cpu_count // workers``,
+        so N shards never oversubscribe the machine; the sync fallback
+        gets the whole machine.  Results are bit-identical for every
+        value (column blocks have independent per-element reductions);
+        the effective count is exposed as :attr:`mac_threads`, as a
+        ``repro_serve_mac_threads`` gauge, and in the service report.
+    mac_col_block:
+        Ordered-MAC column-block width plan parameter (``None`` = the
+        operator default, see
+        :class:`~repro.sptc.fused.FusedStencilOperator`).
     """
 
     def __init__(
@@ -119,6 +132,8 @@ class StencilService:
         temporal_mode: str = "exact",
         trace: bool = False,
         exact_telemetry: bool = False,
+        mac_threads: Optional[int] = None,
+        mac_col_block: Optional[int] = None,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -165,15 +180,28 @@ class StencilService:
                 temporal_mode=temporal_mode,
                 tracer=self.tracer,
                 metrics=self.metrics,
+                mac_threads=mac_threads,
+                mac_col_block=mac_col_block,
             )
+            self.mac_threads = self._pool.mac_threads
             if backend == "thread":
                 for cache in self._pool.caches:
                     cache.bind_metrics(self.metrics)
         else:
+            # the sync fallback is the only executor in this process, so
+            # its adaptive budget is the whole machine (shards=1)
+            self.mac_threads = resolve_mac_threads(mac_threads, 1)
             self._sync_cache = PlanCache(
-                capacity=cache_capacity, device=device
+                capacity=cache_capacity,
+                device=device,
+                mac_threads=self.mac_threads,
+                mac_col_block=mac_col_block,
             )
             self._sync_cache.bind_metrics(self.metrics)
+        self.metrics.gauge(
+            "repro_serve_mac_threads",
+            "Effective ordered-MAC threads per worker shard.",
+        ).set(float(self.mac_threads))
 
     # ------------------------------------------------------------------
     @property
@@ -369,6 +397,7 @@ class StencilService:
             transport=self.transport,
             stages=stage_totals(self.tracer.snapshot()),
             metrics=self.metrics.samples(),
+            mac_threads=self.mac_threads,
         )
 
     def format_report(self) -> str:
@@ -400,6 +429,10 @@ class StencilService:
             self._closed = True
         if self._pool is not None:
             self._pool.close(join=True)
+        if self._sync_cache is not None:
+            # plans (and their stats) stay resident; parked MAC helper
+            # threads do not outlive the service
+            self._sync_cache.release_pools()
 
     def __enter__(self) -> "StencilService":
         return self

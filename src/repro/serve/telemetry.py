@@ -239,6 +239,9 @@ class ServiceStats:
     #: counter/gauge registry snapshot (coalescing, shm backpressure,
     #: plan compiles, loop timings) — exposition-ready samples
     metrics: Tuple[MetricSample, ...] = field(default_factory=tuple)
+    #: effective ordered-MAC threads per worker shard (the resolved
+    #: per-shard budget every plan runs with; 1 = serial MAC)
+    mac_threads: int = 1
 
     @property
     def cache_hit_rate(self) -> float:
@@ -364,6 +367,8 @@ def format_service_report(stats: ServiceStats) -> str:
         backend = f"{backend}/{stats.transport}"
     lines = [
         f"{'workers':<22} {stats.workers} ({backend})",
+        f"{'MAC threads':<22} {stats.mac_threads} per shard"
+        + (" (serial)" if stats.mac_threads == 1 else ""),
         f"{'requests served':<22} {t.requests}",
         f"{'sweeps advanced':<22} {t.sweeps}",
         f"{'fused batches':<22} {t.batches}",
@@ -418,5 +423,16 @@ def format_service_report(stats: ServiceStats) -> str:
                 f"{f'  {stage}':<22} {int(agg['count']):>6} spans"
                 f"  total {agg['total_s'] * 1e3:10.3f} ms"
                 f"  mean {agg['mean_s'] * 1e6:10.1f} us"
+            )
+        gemm = stats.stages.get("mac.gemm")
+        if gemm is not None and t.batches:
+            # one mac.gemm span per column block, from whichever pool
+            # thread ran it — blocks/batch > 1 is the direct evidence the
+            # MAC actually spread over its thread budget on this box
+            lines.append(
+                f"{'MAC gemm':<22} "
+                f"{gemm['total_s'] / t.batches * 1e3:.3f} ms/batch"
+                f"  ({gemm['count'] / t.batches:.1f} blocks/batch, "
+                f"{stats.mac_threads} threads)"
             )
     return "\n".join(lines)

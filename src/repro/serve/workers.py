@@ -93,6 +93,7 @@ import numpy as np
 from ..core.pipeline import PlanRecipe, SpiderVariant
 from ..core.temporal import fuse_kernel, repair_boundary_ring
 from ..gpu.device import A100_80GB_PCIE, DeviceSpec
+from ..sptc.macpool import resolve_mac_threads
 from ..sptc.mma import MmaPrecision
 from ..stencil.grid import BoundaryCondition, Grid
 from ..stencil.spec import StencilSpec
@@ -120,6 +121,36 @@ WORKER_TRANSPORTS: Tuple[str, ...] = ("shm", "queue")
 
 #: Supported temporal super-sweep execution modes (see module docstring).
 TEMPORAL_MODES: Tuple[str, ...] = ("exact", "fused")
+
+#: BLAS/OpenMP thread-count variables pinned to 1 in worker processes.
+#: The ordered MAC deliberately never calls BLAS (einsum's C core is
+#: single-threaded and strictly ordered), but any *other* numpy op a
+#: worker runs — pads, casts, the reference oracle in tests — could spin
+#: up a BLAS/OpenMP pool per process and fight the MAC pool for cores.
+#: One explicit MAC pool per shard, sized ``cpu_count // n_shards``, is
+#: the only intentional parallelism in a worker.
+_BLAS_THREAD_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
+
+def _blas_env_hygiene() -> None:
+    """Pin numpy's internal threading to 1 for worker processes.
+
+    Called in the parent before worker processes start, so every start
+    method inherits the setting (spawn/forkserver children initialize
+    their BLAS under it; fork children inherit the parent's already-
+    initialized BLAS, where these variables were read at import time —
+    either way no library pool exceeds what was configured).  Only unset
+    variables are touched: an operator who explicitly sized a BLAS pool
+    keeps it, and is expected to budget ``mac_threads`` accordingly.
+    """
+    for var in _BLAS_THREAD_ENV_VARS:
+        os.environ.setdefault(var, "1")
 
 
 def _result_dtype(precision: str) -> np.dtype:
@@ -225,6 +256,10 @@ def _run_super_sweep(
         device=cache.device,
         grid_shape=key.tile_key or None,
         steps=steps,
+        # the fused super-kernel plan inherits the cache's per-shard MAC
+        # thread budget — a super-sweep must not oversubscribe either
+        mac_threads=cache.mac_threads,
+        mac_col_block=cache.mac_col_block,
     )
     fused_plan = cache.get_or_build(fused_key, builder=recipe.build)
     # one fused GEMM across the whole batch, then ring repair with the
@@ -506,6 +541,8 @@ def _process_worker_main(
     cache_capacity: int,
     device_dict: dict,
     temporal_mode: str = "exact",
+    mac_threads: Optional[int] = None,
+    mac_col_block: Optional[int] = None,
 ) -> None:
     """Worker-process shard loop (module-level so every mp start method —
     fork *and* spawn — can import it).
@@ -528,9 +565,21 @@ def _process_worker_main(
     are materialized straight into the reserved result-slab blocks via
     the executor's ``out=`` destinations, so an shm result message
     carries descriptors only.
+
+    ``mac_threads`` is this shard's pre-resolved ordered-MAC thread
+    budget (the parent divides the machine across shards so N worker
+    processes never oversubscribe cores); every plan this worker's cache
+    compiles carries it.  Pools are created lazily in *this* process —
+    a forked child never inherits parent pool threads (see
+    :mod:`repro.sptc.macpool`).
     """
     device = DeviceSpec.from_dict(device_dict)
-    cache = PlanCache(capacity=cache_capacity, device=device)
+    cache = PlanCache(
+        capacity=cache_capacity,
+        device=device,
+        mac_threads=mac_threads,
+        mac_col_block=mac_col_block,
+    )
     attachments = SlabAttachments()
     clock = time.monotonic
     # worker-local span recorder: spans ship back as (name, start
@@ -642,6 +691,18 @@ class WorkerPool:
     temporal_mode:
         ``"exact"`` (default) or ``"fused"`` — how ``steps > 1`` batches
         execute their temporal super-sweep (see the module docstring).
+    mac_threads:
+        Per-shard ordered-MAC thread budget.  ``None`` (the default)
+        resolves to ``REPRO_MAC_THREADS`` or ``cpu_count // num_workers``
+        — the division that keeps N shards (threads *or* processes, each
+        owning plan-level MAC pools) from oversubscribing the machine.
+        An explicit count is taken as-is, per shard.  Results are
+        bit-identical for every setting; the resolved value is exposed as
+        :attr:`mac_threads`.
+    mac_col_block:
+        Ordered-MAC column-block width plan parameter (``None`` = the
+        operator default; see
+        :class:`~repro.sptc.fused.FusedStencilOperator`).
     """
 
     def __init__(
@@ -660,6 +721,8 @@ class WorkerPool:
         temporal_mode: str = "exact",
         tracer: Optional[SpanRecorder] = None,
         metrics: Optional[MetricsRegistry] = None,
+        mac_threads: Optional[int] = None,
+        mac_col_block: Optional[int] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -681,6 +744,12 @@ class WorkerPool:
         self.backend = backend
         self.transport = transport if backend == "process" else "local"
         self.temporal_mode = temporal_mode
+        #: effective per-shard MAC threads — the explicit value every
+        #: plan compiled by this pool's caches will run with
+        self.mac_threads = resolve_mac_threads(mac_threads, num_workers)
+        self.mac_col_block = (
+            None if mac_col_block is None else int(mac_col_block)
+        )
         self.telemetry = telemetry
         self.tracer = tracer
         self.metrics = metrics
@@ -708,7 +777,12 @@ class WorkerPool:
                 q.bind_metrics(metrics)
         if backend == "thread":
             self.caches: List[PlanCache] = [
-                PlanCache(capacity=cache_capacity, device=device)
+                PlanCache(
+                    capacity=cache_capacity,
+                    device=device,
+                    mac_threads=self.mac_threads,
+                    mac_col_block=self.mac_col_block,
+                )
                 for _ in range(num_workers)
             ]
             self.workers: List[ServeWorker] = [
@@ -728,6 +802,11 @@ class WorkerPool:
             return
 
         # -- process backend -------------------------------------------
+        # pin numpy's BLAS/OpenMP pools to 1 thread in the workers (only
+        # where unset): the per-shard MAC pool is the one intentional
+        # source of parallelism, and a library pool per process on top of
+        # it would oversubscribe every core the budget just divided up
+        _blas_env_hygiene()
         ctx = _pick_mp_context()
         self._num_workers = num_workers
         self._cache_capacity = int(cache_capacity)
@@ -788,6 +867,8 @@ class WorkerPool:
                     self._cache_capacity,
                     device.to_dict(),
                     temporal_mode,
+                    self.mac_threads,
+                    self.mac_col_block,
                 ),
                 name=f"spider-serve-proc-{i}",
                 daemon=True,
@@ -871,6 +952,12 @@ class WorkerPool:
         if self.backend == "thread":
             for w in self.workers:
                 w.join()
+            # plans stay resident (stats remain queryable) but their MAC
+            # pools release their parked helper threads — a closed pool
+            # must leave no repro-mac threads behind.  Process shards need
+            # no equivalent: their pools died with the worker processes.
+            for cache in self.caches:
+                cache.release_pools()
             return
         # feeders only move already-coalesced batches into buffered mp
         # queues, so they finish promptly; the timeout guards against one

@@ -40,12 +40,15 @@ bit-pattern comparison of signed zeros.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import os
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .formats import Sparse24Matrix
 from .instruction import InstructionStream
+from .macpool import MacThreadPool, col_blocks, resolve_mac_threads
 from .mma import MmaPrecision
 from .mma_sp import MMA_SP_M16N8K16
 
@@ -58,13 +61,22 @@ def _rebuild_fused_operator(
     permutation: Optional[np.ndarray],
     dense_rows: Optional[List[np.ndarray]],
     precision: str,
+    mac_threads: Optional[int] = None,
+    mac_col_block: Optional[int] = None,
 ) -> "FusedStencilOperator":
     """Unpickle hook for :class:`FusedStencilOperator` (module-level for
     pickle): re-run the build from the compressed operand, so compaction,
     selection expansion and index tensors are regenerated rather than
-    shipped."""
+    shipped.  The thread pool is likewise never shipped — the rebuilt
+    operator re-creates it lazily on its first parallel execute."""
     return FusedStencilOperator(
-        stacked, L, permutation, dense_rows=dense_rows, precision=precision
+        stacked,
+        L,
+        permutation,
+        dense_rows=dense_rows,
+        precision=precision,
+        mac_threads=mac_threads,
+        mac_col_block=mac_col_block,
     )
 
 
@@ -90,11 +102,29 @@ class FusedStencilOperator:
     precision:
         ``"exact"`` or ``"fp16"``; the operand is cast once at build time
         (float64, or float16 storage widened to float32 for the MAC).
+    mac_threads:
+        Threads the ordered MAC spreads its column blocks over.  ``None``
+        (the default) resolves adaptively — ``REPRO_MAC_THREADS`` or the
+        usable core count (see
+        :func:`~repro.sptc.macpool.resolve_mac_threads`); the serving
+        layer passes an explicit per-shard budget instead.  Results are
+        bit-identical for every thread count: blocks are disjoint
+        ``out[:, c0:c1]`` slices and einsum's per-element reduction order
+        depends only on the w axis (module docstring).
+    mac_col_block:
+        Column-block width of the MAC (default :data:`COL_BLOCK`).  A
+        plan parameter since the multi-threaded MAC: the serial fast path
+        keeps the cache-resident default, while the threaded path may
+        subdivide further (never below 2 columns) for load balance.
     """
 
     #: column block of the ordered MAC — sized so one block of operand,
     #: input and output stays cache-resident
     COL_BLOCK = 4096
+
+    #: floor on threaded subdivision: blocks narrower than this pay more
+    #: in dispatch than they win in overlap
+    MIN_COL_BLOCK = 64
 
     def __init__(
         self,
@@ -104,8 +134,27 @@ class FusedStencilOperator:
         *,
         dense_rows: Optional[Sequence[np.ndarray]] = None,
         precision: str = MmaPrecision.EXACT,
+        mac_threads: Optional[int] = None,
+        mac_col_block: Optional[int] = None,
     ) -> None:
         self.precision = MmaPrecision.validate(precision)
+        # requested (possibly None) values are what __reduce__ ships, so a
+        # rehydrated operator re-resolves in *its* environment; resolved
+        # values are what execution reads
+        self._mac_threads_requested = mac_threads
+        self._mac_col_block_requested = mac_col_block
+        self.mac_threads = resolve_mac_threads(mac_threads)
+        self.mac_col_block = (
+            self.COL_BLOCK if mac_col_block is None else int(mac_col_block)
+        )
+        if self.mac_col_block < 2:
+            raise ValueError(
+                f"mac_col_block must be >= 2 (einsum's n = 1 call shape "
+                f"uses a different kernel), got {self.mac_col_block}"
+            )
+        #: lazily-created MAC pool — never pickled, never inherited
+        #: across fork (``_pool()`` checks the owning pid)
+        self._mac_pool: Optional[MacThreadPool] = None
         if L < 1 or stacked.m % L:
             raise ValueError(
                 f"stacked operator rows ({stacked.m}) must be a multiple of "
@@ -191,7 +240,15 @@ class FusedStencilOperator:
         )
         return (
             _rebuild_fused_operator,
-            (sparse, self.L, permutation, dense_rows, self.precision),
+            (
+                sparse,
+                self.L,
+                permutation,
+                dense_rows,
+                self.precision,
+                self._mac_threads_requested,
+                self._mac_col_block_requested,
+            ),
         )
 
     @property
@@ -238,29 +295,138 @@ class FusedStencilOperator:
         )
 
     # ------------------------------------------------------------------
+    # MAC thread pool (plan-owned, lazy, fork-safe, never pickled)
+    # ------------------------------------------------------------------
+    def _pool(self) -> MacThreadPool:
+        """The persistent MAC pool, (re)created lazily.
+
+        A pool object that crossed a ``fork`` is dropped without joining
+        — its helper threads do not exist in the child and its condition
+        variable may have been captured mid-acquire — and a fresh pool is
+        built under the child's pid.  Only a same-pid stale pool (e.g.
+        one an earlier shutdown closed) is shut down before replacement.
+        """
+        pool = self._mac_pool
+        if pool is not None and pool.pid == os.getpid() and not pool.closed:
+            return pool
+        if pool is not None and pool.pid == os.getpid():
+            pool.shutdown()
+        pool = MacThreadPool(self.mac_threads)
+        self._mac_pool = pool
+        return pool
+
+    def shutdown_pool(self) -> None:
+        """Stop the MAC pool's helper threads (idempotent).
+
+        Called by the serving plan cache on eviction/trim; the pool
+        re-creates lazily if the operator executes again.  A pool object
+        inherited from another process is dropped, never joined.
+        """
+        pool = self._mac_pool
+        self._mac_pool = None
+        if pool is not None and pool.pid == os.getpid():
+            pool.shutdown()
+
+    def map_tasks(
+        self, fn: Callable[..., None], tasks: Sequence[tuple]
+    ) -> None:
+        """Run order-free tasks on the MAC pool (or inline when serial).
+
+        The executor uses this to give the pad and gather stages the same
+        disjoint-slice treatment as the MAC itself — tasks must write to
+        disjoint destinations.
+        """
+        if self.mac_threads > 1 and len(tasks) > 1:
+            self._pool().run(fn, tasks)
+        else:
+            for task in tasks:
+                fn(*task)
+
+    def _plan_blocks(self, n: int) -> Optional[List[Tuple[int, int]]]:
+        """Column blocks for a threaded MAC over ``n`` columns, or
+        ``None`` for the serial fast path.
+
+        Serial below the column-count threshold (``n < mac_col_block``:
+        tiny grids never pay pool dispatch) and whenever a single block
+        would result.  The threaded path subdivides the plan's block
+        width — never below :data:`MIN_COL_BLOCK`, never below 2 — so
+        every thread has around two blocks to draw, which load-balances
+        without perturbing numerics (blocking is order-free, module
+        docstring).
+        """
+        if self.mac_threads < 2 or n < self.mac_col_block:
+            return None
+        block = min(
+            self.mac_col_block,
+            max(self.MIN_COL_BLOCK, -(-n // (2 * self.mac_threads))),
+        )
+        blocks = col_blocks(n, max(2, block))
+        if len(blocks) < 2:
+            return None
+        return blocks
+
+    def _gemm_block(
+        self,
+        x: np.ndarray,
+        out: np.ndarray,
+        c0: int,
+        c1: int,
+        emit: Optional[Callable[[str, float, float], None]],
+    ) -> None:
+        """One ordered-einsum column block, optionally traced."""
+        if emit is None:
+            np.einsum(
+                "mw,wn->mn",
+                self.kernel_compact,
+                x[:, c0:c1],
+                out=out[:, c0:c1],
+            )
+            return
+        t0 = time.monotonic()
+        np.einsum(
+            "mw,wn->mn",
+            self.kernel_compact,
+            x[:, c0:c1],
+            out=out[:, c0:c1],
+        )
+        emit("mac.gemm", t0, time.monotonic() - t0)
+
+    # ------------------------------------------------------------------
     def execute(
         self,
         x: np.ndarray,
         out: np.ndarray,
         stream: Optional[InstructionStream] = None,
+        emit: Optional[Callable[[str, float, float], None]] = None,
     ) -> np.ndarray:
         """One fused ordered GEMM: ``K_all @ X`` for all active rows.
 
         ``x`` is the compact input matrix (``n_x_rows``, n) already in
         swapped row order and cast to the MAC dtype; ``out`` is the
         (``m_active``, n) destination (a workspace buffer).  The product
-        is evaluated in cache-sized column blocks with the strictly
-        ordered einsum kernel (see the module docstring).
+        is evaluated in column blocks with the strictly ordered einsum
+        kernel (see the module docstring) — serially below the plan's
+        column threshold, otherwise spread over the plan-owned MAC pool
+        as disjoint ``out[:, c0:c1]`` slices; both paths are
+        bit-identical for any thread count and block width >= 2.  A
+        trailing 1-wide remainder block is always merged into its
+        neighbour (:func:`~repro.sptc.macpool.col_blocks`), since n = 1
+        is the one einsum call shape with a different reduction kernel.
+
+        ``emit`` (the executor's tracing stage hook) receives one
+        ``mac.gemm`` span per column block, recorded from whichever
+        thread ran the block.
         """
         n = x.shape[1]
         if self.m_active:
-            for c0 in range(0, n, self.COL_BLOCK):
-                c1 = min(c0 + self.COL_BLOCK, n)
-                np.einsum(
-                    "mw,wn->mn",
-                    self.kernel_compact,
-                    x[:, c0:c1],
-                    out=out[:, c0:c1],
+            blocks = self._plan_blocks(n)
+            if blocks is None:
+                for c0, c1 in col_blocks(n, self.mac_col_block):
+                    self._gemm_block(x, out, c0, c1, emit)
+            else:
+                self._pool().run(
+                    lambda c0, c1: self._gemm_block(x, out, c0, c1, emit),
+                    blocks,
                 )
         self._emit(stream, n)
         return out
