@@ -1,0 +1,273 @@
+"""Cost-model ranking accuracy + tuned-profile serving benchmark.
+
+``repro tune`` is only worth shipping if (a) the calibrated roofline
+ranks knob configurations the way the machine actually ranks them, and
+(b) serving with the emitted profile is at least as fast as the built-in
+defaults.  This benchmark measures both on one workload:
+
+* **ranking accuracy** — run the full tune loop, then measure *every*
+  model-ranked candidate (>= 4 configs spanning ``mac_threads`` x
+  ``mac_col_block`` x ``temporal_mode``) and report Spearman rank
+  correlation plus top-1 agreement (:func:`rank_agreement`'s near-tie
+  tolerance, because on a tied machine — one core — strict argmin
+  equality is a coin flip the model need not call);
+* **tuned-vs-default serving throughput** — sequential requests through
+  :class:`repro.serve.StencilService` with and without the emitted
+  profile; the tuner cross-checks its winner against real measurements,
+  so tuned must never lose materially;
+* **bit-identity on the measured traffic** — tuned knobs steer
+  parallelism and batching only, never numerics (blocking at every core
+  count).
+
+The accuracy gates (rank correlation >= 0.8, top-1 agreement, tuned >=
+~default) arm where ``os.cpu_count() >= 2`` — on one core the knob axis
+collapses to near-ties and micro-benchmark noise decides the ordering —
+with a best-of-2 retry against shared-runner noise, like the MAC-threads
+gate.  Results append to ``BENCH_costmodel.json``.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_costmodel.py
+    PYTHONPATH=src python benchmarks/bench_costmodel.py --smoke --out BENCH_costmodel.json
+
+or under pytest (runs the gate)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_costmodel.py -s
+"""
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.costmodel import (
+    TunedProfile,
+    rank_agreement,
+    rank_correlation,
+)
+from repro.serve import StencilService
+from repro.serve.tuning import measure_batch_ms, tune_profile
+from repro.stencil import Grid, make_box_kernel
+
+#: where ranking-accuracy + tuned-serving records accumulate (repo root)
+BENCH_COSTMODEL_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_costmodel.json"
+)
+
+
+def _serve_rps(spec, grids, profile, n_requests: int):
+    """Sequential single-request throughput, with/without the profile."""
+    with StencilService(
+        workers=1, max_wait_s=0.0, tuned_profile=profile
+    ) as svc:
+        svc.run(spec, grids[0])  # warm the plan cache
+        t0 = time.perf_counter()
+        outs = [
+            svc.run(spec, grids[i % len(grids)]) for i in range(n_requests)
+        ]
+        elapsed = time.perf_counter() - t0
+        stats = svc.stats()
+    assert stats.telemetry.errors == 0
+    return n_requests / elapsed, outs
+
+
+def bench_costmodel(
+    *,
+    size=(64, 64),
+    radius: int = 2,
+    batch_sizes=(1, 4),
+    repeats: int = 3,
+    serve_requests: int = 24,
+    seed: int = 2026,
+) -> dict:
+    """One tune-loop + full-grid cross-check + serving comparison record."""
+    cores = os.cpu_count() or 1
+    rng = np.random.default_rng(seed)
+    spec = make_box_kernel(2, radius, rng)
+
+    report = tune_profile(
+        spec,
+        tuple(size),
+        batch_sizes=tuple(batch_sizes),
+        top_k=4,
+        repeats=repeats,
+        seed=seed,
+    )
+    # artifact sanity before anything is recorded
+    TunedProfile.validate(report.profile.to_dict())
+
+    # measure EVERY ranked candidate (the tune loop itself only
+    # cross-checks the top-K) for the full model-vs-machine comparison
+    cap = max(batch_sizes)
+    predicted, measured, labels = [], [], []
+    for cand in report.candidates:
+        b = min(cand.config.max_batch_size, cap)
+        ms = measure_batch_ms(
+            spec,
+            tuple(size),
+            cand.config,
+            batch=b,
+            repeats=repeats,
+            seed=seed,
+        )
+        predicted.append(cand.predicted_ms)
+        measured.append(ms / b)
+        labels.append(cand.config.label)
+    corr = rank_correlation(predicted, measured)
+    top1 = rank_agreement(predicted, measured)
+
+    grids = [Grid.random(tuple(size), rng) for _ in range(4)]
+    default_rps, outs_default = _serve_rps(
+        spec, grids, None, serve_requests
+    )
+    tuned_rps, outs_tuned = _serve_rps(
+        spec, grids, report.profile, serve_requests
+    )
+    identical = all(
+        a.tobytes() == b.tobytes()
+        for a, b in zip(outs_default, outs_tuned)
+    )
+
+    return {
+        "config": {
+            "shape": f"2D r={radius} box",
+            "grid": list(size),
+            "batch_sizes": list(batch_sizes),
+            "repeats": repeats,
+            "serve_requests": serve_requests,
+        },
+        "cpu_count": cores,
+        "fit": {
+            "rel_rmse": report.calibration.rel_rmse,
+            "n_samples": report.calibration.n_samples,
+        },
+        "ranking": {
+            "n_candidates": len(labels),
+            "labels": labels,
+            "predicted_ms_per_request": predicted,
+            "measured_ms_per_request": measured,
+            "rank_correlation": corr,
+            "top1_agreement": top1,
+        },
+        "winner": report.winner.label,
+        "default": report.default.config.label,
+        "serving": {
+            "default_rps": default_rps,
+            "tuned_rps": tuned_rps,
+            "ratio": tuned_rps / default_rps,
+        },
+        "bit_identical_on_measured_traffic": identical,
+        "gate_armed": cores >= 2,
+    }
+
+
+def append_bench_record(doc: dict, path: Path = BENCH_COSTMODEL_PATH) -> None:
+    """Append one record to the accumulating JSON document."""
+    records = []
+    if path.exists():
+        try:
+            records = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            records = []
+    if not isinstance(records, list):
+        records = [records]
+    records.append(doc)
+    path.write_text(json.dumps(records, indent=2) + "\n")
+
+
+# ----------------------------------------------------------------------
+# pytest entry point
+# ----------------------------------------------------------------------
+
+
+def _gates_pass(doc: dict) -> bool:
+    """The armed-gate predicate, used to decide the best-of-2 retry."""
+    r = doc["ranking"]
+    return (
+        r["rank_correlation"] >= 0.8
+        and r["top1_agreement"]
+        and doc["serving"]["ratio"] >= 0.95
+    )
+
+
+@pytest.mark.paper_artifact("serving")
+def test_costmodel_ranking(report):
+    """Model-vs-machine ranking + tuned-vs-default serving, recorded to
+    BENCH_costmodel.json.
+
+    Bit-identity, candidate coverage (>= 4 configs) and a loose
+    tuned-not-materially-slower floor are blocking at every core count;
+    the accuracy gates (rank correlation >= 0.8, top-1 agreement, tuned
+    >= 0.95x default) arm where ``os.cpu_count() >= 2``, best of two
+    runs against shared-runner noise.
+    """
+    doc = bench_costmodel()
+    if doc["gate_armed"] and not _gates_pass(doc):
+        retry = bench_costmodel(seed=2027)
+        if retry["ranking"]["rank_correlation"] > (
+            doc["ranking"]["rank_correlation"]
+        ):
+            doc = retry
+    append_bench_record(doc)
+    report(
+        "Cost model: ranking accuracy and tuned-profile serving",
+        json.dumps(doc, indent=2),
+    )
+    assert doc["bit_identical_on_measured_traffic"]
+    assert doc["ranking"]["n_candidates"] >= 4
+    # the winner is cross-checked by measurement, so even where the
+    # accuracy gates stay disarmed the tuned service must not lose badly
+    # (slack for scheduler jitter on tiny tied machines)
+    assert doc["serving"]["ratio"] >= 0.8, doc["serving"]
+    if doc["gate_armed"]:
+        assert doc["ranking"]["rank_correlation"] >= 0.8, doc["ranking"]
+        assert doc["ranking"]["top1_agreement"], doc["ranking"]
+        assert doc["serving"]["ratio"] >= 0.95, doc["serving"]
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--size", type=int, default=64,
+                    help="square 2D grid side length")
+    ap.add_argument("--radius", type=int, default=2)
+    ap.add_argument("--batch-sizes", default="1,4",
+                    help="comma-separated probe batch sizes")
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--requests", type=int, default=24,
+                    help="sequential serving requests per arm")
+    ap.add_argument("--seed", type=int, default=2026)
+    ap.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast configuration for CI smoke jobs",
+    )
+    ap.add_argument(
+        "--out",
+        default=None,
+        help="append the record here instead of BENCH_costmodel.json",
+    )
+    args = ap.parse_args(argv)
+    size = 32 if args.smoke else args.size
+    doc = bench_costmodel(
+        size=(size, size),
+        radius=args.radius,
+        batch_sizes=tuple(
+            int(b) for b in args.batch_sizes.split(",") if b.strip()
+        ),
+        repeats=2 if args.smoke else args.repeats,
+        serve_requests=8 if args.smoke else args.requests,
+        seed=args.seed,
+    )
+    append_bench_record(
+        doc, BENCH_COSTMODEL_PATH if args.out is None else Path(args.out)
+    )
+    print(json.dumps(doc, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

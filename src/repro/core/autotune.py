@@ -13,7 +13,6 @@ remove it.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -76,9 +75,15 @@ def _score(plan: TilePlan, device: DeviceSpec) -> float:
     bh, bw = plan.block
     r = plan.radius
     halo_eff = (bh * bw) / ((bh + 2 * r) * (bw + 2 * r))
-    # fraction of mma.sp lanes doing useful work for this warp tile
+    # fraction of mma.sp lanes doing useful work for this warp tile.
+    # K-chunking needs no separate factor here: ``mma_issues_per_warp_tile``
+    # already folds ``chunks = ceil(warp[1] / L)`` into its GEMM n
+    # dimension (``n_cols = warp[0] * chunks``), and the ``16 / width``
+    # term below cancels its ``k_tiles = width / 16`` multiplicity exactly
+    # (the padded kernel width is always a multiple of 16) — so ``issued``
+    # counts every lane-slot of every chunk exactly once, and a separate
+    # chunks multiplier would double-count wide warp tiles.
     width = padded_width(plan.radius)
-    chunks = math.ceil(plan.warp[1] / plan.L)
     useful = plan.warp[0] * plan.warp[1]
     issued = (
         plan.mma_issues_per_warp_tile * plan.mma[0] * plan.mma[1] * 16 / width

@@ -49,9 +49,23 @@ def spider_cost(A: int, B: int, r: int, c: int = 8) -> SpiderCost:
     ``SPIDER_C = 256·(AB/c²)·(r+1)·⌈c/8⌉²·((2r+c)/4)``
     ``SPIDER_I =  32·(AB/c²)·(2r+1)·⌈c/8⌉·⌈(2r+c)/4⌉``
     ``SPIDER_P =  16·(AB/c²)·(2r+1)·⌈c/8⌉·⌈(2r+c)/4⌉``
+
+    ``c`` is the side of the square output tile and must be **>= 2**: the
+    ``⌈c/8⌉`` factors are calibrated against the paper's square-tile
+    instances, and a degenerate 1-wide tile breaks that calibration (its
+    tile count ``AB/c²`` stops describing a tiling the SpTC kernel can
+    issue — the MAC's minimum output block is 2 columns wide, see
+    :func:`repro.sptc.macpool.col_blocks`).  Non-multiple-of-8 tiles are
+    accepted and round up through the ceiling brackets, matching the
+    paper's padding convention.
     """
-    if A < 1 or B < 1 or r < 1 or c < 1:
-        raise ValueError("A, B, r, c must all be >= 1")
+    if A < 1 or B < 1 or r < 1:
+        raise ValueError("A, B, r must all be >= 1")
+    if c < 2:
+        raise ValueError(
+            f"tile side c must be >= 2 (1-wide tiles break the ceil(c/8) "
+            f"calibration), got {c}"
+        )
     tiles = A * B / (c * c)
     comp = 256.0 * tiles * (r + 1) * _ceil_div(c, 8) ** 2 * ((2 * r + c) / 4.0)
     inp = 32.0 * tiles * (2 * r + 1) * _ceil_div(c, 8) * _ceil_div(2 * r + c, 4)

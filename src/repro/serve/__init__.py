@@ -22,7 +22,11 @@ requests into batched SpTC passes:
   registry the serving components publish into;
 * :mod:`tracing` — end-to-end span tracing (submit → coalesce → pack →
   ipc → mac → unpack → resolve, across process boundaries) with Chrome
-  ``trace_event`` export and per-stage time attribution.
+  ``trace_event`` export and per-stage time attribution;
+* :mod:`tuning` — the ``repro tune`` engine: calibrate the
+  :mod:`repro.core.costmodel` roofline from measured serve batches, rank
+  the knob grid, cross-check top candidates against micro-benches, and
+  emit the tuned-profile JSON a :class:`StencilService` loads at startup.
 """
 
 from .batching import BatchQueue, ServeRequest
@@ -50,6 +54,15 @@ from .telemetry import (
     ServiceTelemetry,
     TelemetrySnapshot,
     format_service_report,
+)
+from .tuning import (
+    CandidateResult,
+    TuneReport,
+    default_knob_config,
+    format_tune_report,
+    measure_batch_ms,
+    probe_calibration_samples,
+    tune_profile,
 )
 from .tracing import (
     Span,
@@ -107,4 +120,11 @@ __all__ = [
     "WORKER_TRANSPORTS",
     "TEMPORAL_MODES",
     "execute_serve_batch",
+    "CandidateResult",
+    "TuneReport",
+    "default_knob_config",
+    "format_tune_report",
+    "measure_batch_ms",
+    "probe_calibration_samples",
+    "tune_profile",
 ]

@@ -1,0 +1,510 @@
+"""Offline knob tuner: ``repro tune``'s engine.
+
+The serving stack exposes knobs — per-shard ``mac_threads``, the ordered
+MAC's ``mac_col_block``, ``temporal_mode`` and the batch cap — whose best
+values depend on the machine, not the paper.  This module lets the stack
+pick them itself:
+
+1. **Probe**: run a small, feature-spanning subset of knob configs
+   through the real serving execution path
+   (:func:`~repro.serve.workers.execute_serve_batch`, the same code every
+   backend runs) and record per-batch service times plus per-stage spans
+   (``mac.gemm`` et al.) via the tracer.
+2. **Calibrate**: fit the roofline constants of
+   :class:`~repro.core.costmodel.CostModel` to the probe measurements
+   (:func:`~repro.core.costmodel.calibrate`).
+3. **Rank**: predict per-request service time for *every* candidate in
+   the knob grid — the model covers the configs the probe never ran.
+4. **Cross-check**: re-measure the model's top-K candidates plus the
+   stack's default config; the measured winner decides.  The model
+   proposes, measurement disposes — a mis-ranked model costs probe time,
+   never a regressed profile.
+5. **Emit**: a :class:`~repro.core.costmodel.TunedProfile` JSON artifact
+   that :class:`~repro.serve.service.StencilService` loads at startup
+   (explicit constructor arguments still win).
+
+Measurements run on the caller thread through a private
+:class:`~repro.serve.plan_cache.PlanCache` — no worker scheduling noise,
+and the plan/MAC-pool lifecycle is identical to a serving shard's.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.costmodel import (
+    CalibrationResult,
+    CalibrationSample,
+    KnobConfig,
+    TunedPlan,
+    TunedProfile,
+    batch_features,
+    calibrate,
+    enumerate_knob_configs,
+    rank_correlation,
+)
+from ..core.pipeline import SpiderVariant
+from ..gpu.device import A100_80GB_PCIE, DeviceSpec
+from ..sptc.macpool import resolve_mac_threads
+from ..sptc.mma import MmaPrecision
+from ..stencil.grid import Grid
+from ..stencil.spec import StencilSpec
+from .plan_cache import PlanCache, plan_key_for, spec_fingerprint
+from .tracing import SpanRecorder, batch_context, stage_totals
+from .workers import execute_serve_batch
+
+__all__ = [
+    "CandidateResult",
+    "TuneReport",
+    "default_knob_config",
+    "format_tune_report",
+    "measure_batch_ms",
+    "probe_calibration_samples",
+    "tune_profile",
+]
+
+
+def default_knob_config(max_batch_size: int = 8) -> KnobConfig:
+    """The knobs an untuned service resolves to on this machine.
+
+    This is the baseline every tuned profile must beat (or tie): adaptive
+    MAC threads for a single shard, the operator's default column block,
+    exact temporal mode.
+    """
+    from ..sptc.fused import FusedStencilOperator
+
+    return KnobConfig(
+        mac_threads=resolve_mac_threads(None, 1),
+        mac_col_block=FusedStencilOperator.COL_BLOCK,
+        temporal_mode="exact",
+        max_batch_size=int(max_batch_size),
+    )
+
+
+def _make_grids(
+    spec: StencilSpec,
+    grid_shape: Tuple[int, ...],
+    batch: int,
+    seed: int,
+) -> List[Grid]:
+    rng = np.random.default_rng(seed)
+    return [
+        Grid(rng.standard_normal(grid_shape)) for _ in range(batch)
+    ]
+
+
+def measure_batch_ms(
+    spec: StencilSpec,
+    grid_shape: Tuple[int, ...],
+    config: KnobConfig,
+    *,
+    batch: int,
+    steps: int = 1,
+    repeats: int = 2,
+    device: DeviceSpec = A100_80GB_PCIE,
+    variant: SpiderVariant = SpiderVariant.SPTC_CO,
+    precision: str = MmaPrecision.EXACT,
+    seed: int = 0,
+    tracer: Optional[SpanRecorder] = None,
+) -> float:
+    """Measured service ms of one coalesced batch under ``config``.
+
+    Runs the canonical serving path (plan cache -> fused executor ->
+    temporal super-sweep when ``steps > 1``) on the caller thread: one
+    warmup pass absorbs plan compilation and lazy workspace/pool setup,
+    then the best of ``repeats`` timed passes is returned (micro-bench
+    convention: min is the least noisy location statistic for a
+    deterministic kernel).  ``tracer`` (if enabled) collects per-stage
+    spans — the serve telemetry the calibration narrative is built from.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    precision = MmaPrecision.validate(precision)
+    cache = PlanCache(
+        capacity=8,
+        device=device,
+        mac_threads=config.mac_threads,
+        mac_col_block=config.mac_col_block,
+    )
+    key = plan_key_for(spec, variant, precision, grid_shape, steps=steps)
+    grids = _make_grids(spec, grid_shape, batch, seed)
+    try:
+        execute_serve_batch(
+            cache, key, spec, grids, config.temporal_mode
+        )  # warmup: compile + arena/pool setup off the clock
+        best = float("inf")
+        for _ in range(repeats):
+            if tracer is not None and tracer.enabled:
+                with batch_context(tracer, 0, None, "tune"):
+                    t0 = time.perf_counter()
+                    execute_serve_batch(
+                        cache, key, spec, grids, config.temporal_mode
+                    )
+                    dt = time.perf_counter() - t0
+            else:
+                t0 = time.perf_counter()
+                execute_serve_batch(
+                    cache, key, spec, grids, config.temporal_mode
+                )
+                dt = time.perf_counter() - t0
+            best = min(best, dt)
+        return best * 1e3
+    finally:
+        cache.release_pools()
+
+
+def _probe_configs(
+    configs: Sequence[KnobConfig], steps: int
+) -> List[KnobConfig]:
+    """A small feature-spanning subset of ``configs`` for calibration.
+
+    The probe must move every model feature the grid moves: the serial
+    baseline (parallel = 1), the widest thread count at the narrowest and
+    widest column blocks (parallel and n_blocks extremes), and — when
+    ``steps > 1`` makes temporal mode live — one config per mode.  The
+    model then interpolates the configs the probe skipped.
+    """
+    chosen: Dict[Tuple[int, int, str], KnobConfig] = {}
+    by_mode: Dict[str, List[KnobConfig]] = {}
+    for c in configs:
+        by_mode.setdefault(c.temporal_mode, []).append(c)
+    modes = list(by_mode) if steps > 1 else list(by_mode)[:1]
+    for mode in modes:
+        group = by_mode[mode]
+        t_max = max(c.mac_threads for c in group)
+        picks = [min(group, key=lambda c: c.mac_threads)]
+        wide = [c for c in group if c.mac_threads == t_max]
+        if wide:
+            picks.append(min(wide, key=lambda c: c.mac_col_block))
+            picks.append(max(wide, key=lambda c: c.mac_col_block))
+        for c in picks:
+            chosen.setdefault(
+                (c.mac_threads, c.mac_col_block, c.temporal_mode), c
+            )
+    return list(chosen.values())
+
+
+def probe_calibration_samples(
+    spec: StencilSpec,
+    grid_shape: Tuple[int, ...],
+    probe: Sequence[KnobConfig],
+    *,
+    batch_sizes: Sequence[int],
+    steps: int = 1,
+    repeats: int = 2,
+    device: DeviceSpec = A100_80GB_PCIE,
+    variant: SpiderVariant = SpiderVariant.SPTC_CO,
+    precision: str = MmaPrecision.EXACT,
+    seed: int = 0,
+    tracer: Optional[SpanRecorder] = None,
+) -> Tuple[List[CalibrationSample], Dict[Tuple[str, int], float]]:
+    """Measure the probe grid; returns samples + a ``(label, batch) -> ms``
+    memo so the cross-check stage can reuse probe measurements."""
+    precision = MmaPrecision.validate(precision)
+    samples: List[CalibrationSample] = []
+    measured: Dict[Tuple[str, int], float] = {}
+    for config in probe:
+        for batch in batch_sizes:
+            ms = measure_batch_ms(
+                spec,
+                grid_shape,
+                config,
+                batch=batch,
+                steps=steps,
+                repeats=repeats,
+                device=device,
+                variant=variant,
+                precision=precision,
+                seed=seed,
+                tracer=tracer,
+            )
+            measured[(config.label, batch)] = ms
+            samples.append(
+                CalibrationSample(
+                    features=batch_features(
+                        spec.radius,
+                        grid_shape,
+                        batch,
+                        steps=steps,
+                        temporal_mode=config.temporal_mode,
+                        mac_threads=config.mac_threads,
+                        mac_col_block=config.mac_col_block,
+                        precision=precision,
+                    ),
+                    measured_s=ms / 1e3,
+                    label=f"{config.label}@batch{batch}",
+                )
+            )
+    return samples, measured
+
+
+@dataclass(frozen=True)
+class CandidateResult:
+    """One knob config's standing after ranking (and maybe measurement)."""
+
+    config: KnobConfig
+    #: model-predicted per-request service ms at the config's batch cap
+    predicted_ms: float
+    #: measured per-request ms — only for cross-checked candidates
+    measured_ms: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class TuneReport:
+    """Everything one ``tune_profile`` run decided, and why."""
+
+    profile: TunedProfile
+    calibration: CalibrationResult
+    #: every candidate, model-rank order (best predicted first)
+    candidates: Tuple[CandidateResult, ...]
+    winner: KnobConfig
+    default: CandidateResult
+    #: Spearman correlation between predicted and measured per-request ms
+    #: over the cross-checked candidates (None if fewer than 2 measured)
+    cross_check_rank_corr: Optional[float] = None
+    stage_ms: Dict[str, float] = field(default_factory=dict)
+
+
+def tune_profile(
+    spec: StencilSpec,
+    grid_shape: Tuple[int, ...],
+    *,
+    steps: int = 1,
+    batch_sizes: Sequence[int] = (1, 4, 8),
+    configs: Optional[Sequence[KnobConfig]] = None,
+    top_k: int = 3,
+    repeats: int = 2,
+    device: DeviceSpec = A100_80GB_PCIE,
+    variant: SpiderVariant = SpiderVariant.SPTC_CO,
+    precision: str = MmaPrecision.EXACT,
+    seed: int = 0,
+    source: str = "repro tune",
+) -> TuneReport:
+    """Search the knob space for ``(spec, grid_shape)``; see module docstring.
+
+    The emitted profile's per-plan entries carry both the exact
+    ``tile_key`` that was measured and a wildcard ``()`` entry, so any
+    grid shape of the same stencil family inherits the tuned MAC knobs
+    until a shape-specific profile replaces them.
+    """
+    if not grid_shape:
+        raise ValueError("grid_shape must be non-empty")
+    batch_sizes = sorted({int(b) for b in batch_sizes})
+    if not batch_sizes or batch_sizes[0] < 1:
+        raise ValueError(f"batch sizes must be >= 1, got {batch_sizes}")
+    precision = MmaPrecision.validate(precision)
+    cap = batch_sizes[-1]
+    if configs is None:
+        modes = ("exact", "fused") if steps > 1 else ("exact",)
+        configs = enumerate_knob_configs(
+            temporal_modes=modes, batch_caps=(cap,)
+        )
+    configs = list(configs)
+    if not configs:
+        raise ValueError("need at least one candidate config")
+
+    # 1 + 2: probe a feature-spanning subset, fit the roofline
+    tracer = SpanRecorder(enabled=True)
+    probe = _probe_configs(configs, steps)
+    samples, measured = probe_calibration_samples(
+        spec,
+        grid_shape,
+        probe,
+        batch_sizes=batch_sizes,
+        steps=steps,
+        repeats=repeats,
+        device=device,
+        variant=variant,
+        precision=precision,
+        seed=seed,
+        tracer=tracer,
+    )
+    calibration = calibrate(samples)
+    model = calibration.model
+
+    # 3: model-rank every candidate by per-request ms at its batch cap
+    def predicted_per_request_ms(config: KnobConfig) -> float:
+        b = min(config.max_batch_size, cap)
+        f = batch_features(
+            spec.radius,
+            grid_shape,
+            b,
+            steps=steps,
+            temporal_mode=config.temporal_mode,
+            mac_threads=config.mac_threads,
+            mac_col_block=config.mac_col_block,
+            precision=precision,
+        )
+        return model.predict_ms(f) / b
+
+    ranked = sorted(configs, key=predicted_per_request_ms)
+
+    # 4: cross-check the model's top-K plus the default config
+    default_cfg = default_knob_config(cap)
+    check = list(ranked[: max(1, top_k)])
+    if all(c.label != default_cfg.label for c in check):
+        check.append(default_cfg)
+
+    def measured_per_request_ms(config: KnobConfig) -> float:
+        b = min(config.max_batch_size, cap)
+        ms = measured.get((config.label, b))
+        if ms is None:
+            ms = measure_batch_ms(
+                spec,
+                grid_shape,
+                config,
+                batch=b,
+                steps=steps,
+                repeats=repeats,
+                device=device,
+                variant=variant,
+                precision=precision,
+                seed=seed,
+                tracer=tracer,
+            )
+            measured[(config.label, b)] = ms
+        return ms / b
+
+    checked: Dict[str, float] = {
+        c.label: measured_per_request_ms(c) for c in check
+    }
+    winner = min(check, key=lambda c: checked[c.label])
+
+    candidates = tuple(
+        CandidateResult(
+            config=c,
+            predicted_ms=predicted_per_request_ms(c),
+            measured_ms=checked.get(c.label),
+        )
+        for c in ranked
+    )
+    default_result = CandidateResult(
+        config=default_cfg,
+        predicted_ms=predicted_per_request_ms(default_cfg),
+        measured_ms=checked[default_cfg.label],
+    )
+    corr = None
+    if len(checked) >= 2:
+        pairs = [
+            (r.predicted_ms, r.measured_ms)
+            for r in candidates
+            if r.measured_ms is not None
+        ]
+        if len(pairs) >= 2:
+            corr = rank_correlation(
+                [p for p, _ in pairs], [m for _, m in pairs]
+            )
+
+    # 5: the artifact — per-stage telemetry rides along as provenance
+    totals = stage_totals(tracer.snapshot())
+    stage_ms = {
+        name: agg["total_s"] * 1e3 for name, agg in sorted(totals.items())
+    }
+    fingerprint = spec_fingerprint(spec)
+    tile_key = tuple(int(s) for s in grid_shape)
+    plan_entries = tuple(
+        TunedPlan(
+            fingerprint=fingerprint,
+            variant=variant.value,
+            precision=precision,
+            tile_key=tk,
+            mac_threads=winner.mac_threads,
+            mac_col_block=winner.mac_col_block,
+            predicted_ms=predicted_per_request_ms(winner),
+            measured_ms=checked[winner.label],
+        )
+        for tk in (tile_key, ())
+    )
+    profile = TunedProfile(
+        model=model,
+        temporal_mode=winner.temporal_mode if steps > 1 else None,
+        max_batch_size=winner.max_batch_size,
+        plans=plan_entries,
+        meta={
+            "source": source,
+            "created_unix": time.time(),
+            "cpu_count": os.cpu_count() or 1,
+            "workload": {
+                "spec": spec.name
+                or f"{spec.shape.value}-{spec.dims}D{spec.radius}R",
+                "grid_shape": list(tile_key),
+                "steps": int(steps),
+                "batch_sizes": list(batch_sizes),
+            },
+            "fit": {
+                "rel_rmse": calibration.rel_rmse,
+                "n_samples": calibration.n_samples,
+                "iterations": calibration.iterations,
+            },
+            "winner": winner.label,
+            "default": default_cfg.label,
+            "cross_checked": sorted(checked),
+            "stage_ms": stage_ms,
+        },
+    )
+    return TuneReport(
+        profile=profile,
+        calibration=calibration,
+        candidates=candidates,
+        winner=winner,
+        default=default_result,
+        cross_check_rank_corr=corr,
+        stage_ms=stage_ms,
+    )
+
+
+def format_tune_report(report: TuneReport) -> str:
+    """Fixed-width tuning report (analysis-table style)."""
+    cal = report.calibration
+    m = cal.model
+    lines = [
+        f"{'calibration':<22} {cal.n_samples} samples, "
+        f"rel RMSE {cal.rel_rmse * 100:.1f}%",
+        f"{'model':<22} overhead {m.overhead_s * 1e6:.1f} us/batch  "
+        f"block {m.block_overhead_s * 1e6:.1f} us  "
+        f"serial {m.serial_frac:.2f}",
+        f"{'':<22} 1/peak {m.inv_peak:.3e} s/MAC  "
+        f"1/bw {m.inv_bw:.3e} s/B",
+        f"{'candidates':<22} {len(report.candidates)} ranked "
+        f"(model order, per-request ms at cap)",
+    ]
+    for r in report.candidates:
+        mark = " <- winner" if r.config.label == report.winner.label else ""
+        meas = (
+            f"  measured {r.measured_ms:8.3f}"
+            if r.measured_ms is not None
+            else ""
+        )
+        lines.append(
+            f"  {r.config.label:<20} predicted {r.predicted_ms:8.3f}"
+            f"{meas}{mark}"
+        )
+    d = report.default
+    # the default may win outright (and need not be in the ranked grid,
+    # e.g. its adaptive col_block), so it carries its own winner marker
+    default_mark = (
+        " <- winner" if d.config.label == report.winner.label else ""
+    )
+    lines.append(
+        f"{'default':<22} {d.config.label}: "
+        f"measured {d.measured_ms:.3f} ms/request{default_mark}"
+    )
+    if report.cross_check_rank_corr is not None:
+        lines.append(
+            f"{'rank correlation':<22} "
+            f"{report.cross_check_rank_corr:+.2f} "
+            f"(predicted vs measured, cross-checked set)"
+        )
+    gemm = report.stage_ms.get("mac.gemm")
+    if gemm is not None:
+        lines.append(
+            f"{'MAC gemm telemetry':<22} {gemm:.3f} ms traced during probe"
+        )
+    return "\n".join(lines)

@@ -90,6 +90,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.costmodel import TunedPlan
 from ..core.pipeline import PlanRecipe, SpiderVariant
 from ..core.temporal import fuse_kernel, repair_boundary_ring
 from ..gpu.device import A100_80GB_PCIE, DeviceSpec
@@ -248,7 +249,12 @@ def _run_super_sweep(
     fused_spec, fused_key = _fused_spec_and_key(key, spec)
     # the fused plan compiles through a steps-carrying PlanRecipe: the
     # recipe's wire form ships the small base spec, and every consumer
-    # derives byte-identical fused weights (deterministic convolution)
+    # derives byte-identical fused weights (deterministic convolution).
+    # MAC knobs resolve through the *base* key: tuned profiles keyed on
+    # the submitted spec's fingerprint cover its super-sweeps too, and
+    # with no tuned entry this is the cache's per-shard budget as before
+    # — a super-sweep must not oversubscribe either way
+    mac_threads, mac_col_block = cache.knobs_for(key.base())
     recipe = PlanRecipe(
         spec=spec,
         precision=key.precision,
@@ -256,10 +262,8 @@ def _run_super_sweep(
         device=cache.device,
         grid_shape=key.tile_key or None,
         steps=steps,
-        # the fused super-kernel plan inherits the cache's per-shard MAC
-        # thread budget — a super-sweep must not oversubscribe either
-        mac_threads=cache.mac_threads,
-        mac_col_block=cache.mac_col_block,
+        mac_threads=mac_threads,
+        mac_col_block=mac_col_block,
     )
     fused_plan = cache.get_or_build(fused_key, builder=recipe.build)
     # one fused GEMM across the whole batch, then ring repair with the
@@ -543,6 +547,7 @@ def _process_worker_main(
     temporal_mode: str = "exact",
     mac_threads: Optional[int] = None,
     mac_col_block: Optional[int] = None,
+    tuned_plans: Optional[Sequence[dict]] = None,
 ) -> None:
     """Worker-process shard loop (module-level so every mp start method —
     fork *and* spawn — can import it).
@@ -572,6 +577,11 @@ def _process_worker_main(
     compiles carries it.  Pools are created lazily in *this* process —
     a forked child never inherits parent pool threads (see
     :mod:`repro.sptc.macpool`).
+
+    ``tuned_plans`` is the parent's tuned-profile plan list in pure-data
+    dict form (:meth:`~repro.core.costmodel.TunedPlan.to_dict`) — worker
+    args must stay picklable under every mp start method, so the profile
+    object itself never crosses the boundary.
     """
     device = DeviceSpec.from_dict(device_dict)
     cache = PlanCache(
@@ -579,6 +589,7 @@ def _process_worker_main(
         device=device,
         mac_threads=mac_threads,
         mac_col_block=mac_col_block,
+        tuned_plans=tuned_plans,
     )
     attachments = SlabAttachments()
     clock = time.monotonic
@@ -703,6 +714,12 @@ class WorkerPool:
         Ordered-MAC column-block width plan parameter (``None`` = the
         operator default; see
         :class:`~repro.sptc.fused.FusedStencilOperator`).
+    tuned_plans:
+        Per-plan knob overrides from a loaded tuned profile
+        (:class:`~repro.core.costmodel.TunedPlan`, or their pure-data
+        dicts).  Every shard's cache resolves plan keys against them —
+        thread shards directly, process shards via the dict form shipped
+        in the worker args — so both backends compile identical plans.
     """
 
     def __init__(
@@ -723,6 +740,7 @@ class WorkerPool:
         metrics: Optional[MetricsRegistry] = None,
         mac_threads: Optional[int] = None,
         mac_col_block: Optional[int] = None,
+        tuned_plans: Optional[Sequence[TunedPlan]] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -749,6 +767,10 @@ class WorkerPool:
         self.mac_threads = resolve_mac_threads(mac_threads, num_workers)
         self.mac_col_block = (
             None if mac_col_block is None else int(mac_col_block)
+        )
+        self.tuned_plans: Tuple[TunedPlan, ...] = tuple(
+            TunedPlan.from_dict(p) if isinstance(p, dict) else p
+            for p in (tuned_plans or ())
         )
         self.telemetry = telemetry
         self.tracer = tracer
@@ -782,6 +804,7 @@ class WorkerPool:
                     device=device,
                     mac_threads=self.mac_threads,
                     mac_col_block=self.mac_col_block,
+                    tuned_plans=self.tuned_plans,
                 )
                 for _ in range(num_workers)
             ]
@@ -869,6 +892,9 @@ class WorkerPool:
                     temporal_mode,
                     self.mac_threads,
                     self.mac_col_block,
+                    # pure-data form: worker args must pickle under every
+                    # mp start method
+                    [p.to_dict() for p in self.tuned_plans],
                 ),
                 name=f"spider-serve-proc-{i}",
                 daemon=True,

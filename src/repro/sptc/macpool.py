@@ -66,6 +66,11 @@ def resolve_mac_threads(
     the adaptive default of ``cpu_count // shards`` — the per-shard core
     budget that keeps ``backend="process"`` with N worker processes from
     oversubscribing the machine.  Always >= 1.
+
+    Both explicit paths validate identically: ``requested`` and
+    ``REPRO_MAC_THREADS`` raise :class:`ValueError` for counts < 1 (the
+    env path used to clamp silently, which hid misconfigured deployments
+    behind an unexpected serial MAC).
     """
     if requested is not None:
         n = int(requested)
@@ -75,11 +80,16 @@ def resolve_mac_threads(
     env = os.environ.get(MAC_THREADS_ENV)
     if env:
         try:
-            return max(1, int(env))
+            n = int(env)
         except ValueError:
             raise ValueError(
                 f"{MAC_THREADS_ENV} must be an integer, got {env!r}"
             ) from None
+        if n < 1:
+            raise ValueError(
+                f"{MAC_THREADS_ENV} must be >= 1, got {n}"
+            )
+        return n
     cores = os.cpu_count() or 1
     return max(1, cores // max(1, int(shards)))
 

@@ -15,6 +15,7 @@ from repro.analysis.costs import (
     tcstencil_cost,
 )
 from repro.analysis.tables import TABLE2_PAPER, table2_rows
+from repro.core.cost import spider_cost as core_spider_cost
 from repro.stencil import make_box_kernel, make_star_kernel
 
 
@@ -80,6 +81,53 @@ class TestScaling:
             tcstencil_cost(10, 10, 8, L=16)
         with pytest.raises(ValueError):
             flashfft_cost(10, 10, 5, seg=9)
+
+    @pytest.mark.parametrize("c", [1, 0, -4])
+    def test_spider_rejects_degenerate_tile_side(self, c):
+        # a 1-wide tile breaks the ceil(c/8) calibration (and the MAC's
+        # minimum output block is 2 columns, see macpool.col_blocks)
+        with pytest.raises(ValueError, match="c must be >= 2"):
+            core_spider_cost(1024, 1024, 3, c=c)
+
+    def test_spider_accepts_smallest_and_odd_tiles(self):
+        # c = 2 is the smallest tile the MAC can issue; non-multiples of 8
+        # round up through the ceiling brackets (paper padding convention)
+        assert core_spider_cost(1024, 1024, 3, c=2).compute_ops > 0
+        assert core_spider_cost(1024, 1024, 3, c=12).compute_ops > 0
+
+
+class TestCalibratedBrackets:
+    """The bracket convention behind the Table-2 row, pinned explicitly.
+
+    The arXiv rendering of §3.1.2's ceiling brackets is ambiguous; the
+    implementation resolves it by calibration: the *computation* term uses
+    the raw ``(2r+c)/4`` while both *memory* terms use ``⌈(2r+c)/4⌉`` —
+    the only combination that reproduces the paper's Box-2D3R, c = 8 row
+    (56 / 14 / 7 per point) exactly.  These tests document that choice.
+    """
+
+    def test_paper_row_requires_raw_compute_bracket(self):
+        A = B = 10240
+        r, c = 3, 8
+        got = core_spider_cost(A, B, r, c).per_point
+        # raw (2r+c)/4 = 3.5 in compute: 256·(1/64)·4·1·3.5 = 56
+        assert got.compute_ops == pytest.approx(56.0)
+        # a ceiled compute bracket would give 256·(1/64)·4·1·4 = 64 ≠ 56
+        assert got.compute_ops != pytest.approx(64.0)
+
+    def test_paper_row_requires_ceiled_memory_bracket(self):
+        got = core_spider_cost(10240, 10240, 3, 8).per_point
+        # ⌈14/4⌉ = 4 in memory: 32·(1/64)·7·1·4 = 14 and half that for P
+        assert got.input_access == pytest.approx(14.0)
+        assert got.parameter_access == pytest.approx(7.0)
+        # the raw bracket would give 32·(1/64)·7·3.5 = 12.25 ≠ 14
+        assert got.input_access != pytest.approx(12.25)
+
+    def test_bracket_split_visible_off_calibration_point(self):
+        # at r = 1, c = 8: (2r+c)/4 = 2.5 vs ⌈…⌉ = 3 — the split shows
+        got = core_spider_cost(1024, 1024, 1, 8).per_point
+        assert got.compute_ops == pytest.approx(256 / 64 * 2 * 2.5)  # 20
+        assert got.input_access == pytest.approx(32 / 64 * 3 * 3)  # 4.5
 
 
 class TestCostForSpec:

@@ -113,9 +113,26 @@ def test_resolve_mac_threads_explicit_beats_env(monkeypatch):
 def test_resolve_mac_threads_rejects_bad_values(monkeypatch):
     with pytest.raises(ValueError, match="mac_threads"):
         resolve_mac_threads(0)
+    with pytest.raises(ValueError, match="mac_threads"):
+        resolve_mac_threads(-3)
     monkeypatch.setenv(MAC_THREADS_ENV, "lots")
     with pytest.raises(ValueError, match=MAC_THREADS_ENV):
         resolve_mac_threads(None)
+
+
+@pytest.mark.parametrize("env_value", ["0", "-2"])
+def test_resolve_mac_threads_env_rejects_nonpositive(monkeypatch, env_value):
+    """The env path raises like the explicit path — no silent clamp to 1.
+
+    ``REPRO_MAC_THREADS=0`` used to resolve to a serial MAC via
+    ``max(1, ...)``, hiding misconfigured deployments; both paths now
+    enforce the same >= 1 contract.
+    """
+    monkeypatch.setenv(MAC_THREADS_ENV, env_value)
+    with pytest.raises(ValueError, match=MAC_THREADS_ENV):
+        resolve_mac_threads(None)
+    # an explicit request still wins outright and never consults the env
+    assert resolve_mac_threads(3) == 3
 
 
 def test_pool_runs_all_tasks_and_is_reusable():
