@@ -122,20 +122,42 @@ def _cmd_serve_bench(args) -> int:
         closed_loop_stream,
         open_loop_stream,
         serving_workloads,
+        solve_stream,
+        solver_workloads,
     )
 
-    shapes = None
-    if args.shapes:
-        shapes = [s.strip() for s in args.shapes.split(",") if s.strip()]
-    size = _parse_size(args.size) if args.size else (48, 48)
-    workloads = serving_workloads(shapes, size_2d=size, seed=args.seed)
-    if args.rate > 0:
-        stream = open_loop_stream(
-            workloads, args.requests, args.rate, seed=args.seed
+    solve_mode = args.workload == "solve"
+    if solve_mode:
+        dims = tuple(
+            int(d) for d in args.solve_dims.split(",") if d.strip()
+        )
+        workloads = solver_workloads(dims)
+        requests = list(
+            solve_stream(
+                workloads,
+                args.requests,
+                tol=args.solve_tol,
+                max_iters=args.solve_iters,
+                cycle=args.cycle,
+                rate_sps=args.rate,
+                seed=args.seed,
+            )
         )
     else:
-        stream = closed_loop_stream(workloads, args.requests, seed=args.seed)
-    requests = list(stream)
+        shapes = None
+        if args.shapes:
+            shapes = [s.strip() for s in args.shapes.split(",") if s.strip()]
+        size = _parse_size(args.size) if args.size else (48, 48)
+        workloads = serving_workloads(shapes, size_2d=size, seed=args.seed)
+        if args.rate > 0:
+            stream = open_loop_stream(
+                workloads, args.requests, args.rate, seed=args.seed
+            )
+        else:
+            stream = closed_loop_stream(
+                workloads, args.requests, seed=args.seed
+            )
+        requests = list(stream)
 
     trace_path = getattr(args, "trace", None)
     with StencilService(
@@ -156,7 +178,16 @@ def _cmd_serve_bench(args) -> int:
                 now = time.perf_counter() - start
                 if r.arrival_s > now:
                     time.sleep(r.arrival_s - now)
-            svc.submit(r.spec, r.grid, steps=args.steps)
+            if solve_mode:
+                svc.submit_solve(
+                    r.spec,
+                    r.rhs,
+                    tol=r.tol,
+                    max_iters=r.max_iters,
+                    cycle=r.cycle,
+                )
+            else:
+                svc.submit(r.spec, r.grid, steps=args.steps)
         svc.drain()
         elapsed = time.perf_counter() - start
         stats = svc.stats()
@@ -167,8 +198,23 @@ def _cmd_serve_bench(args) -> int:
     throughput = len(requests) / elapsed
     sweeps_per_s = stats.telemetry.sweeps / elapsed
     print(format_service_report(stats))
-    print(f"{'throughput':<22} {throughput:.1f} req/s over {elapsed:.3f}s")
-    print(f"{'sweep throughput':<22} {sweeps_per_s:.1f} sweeps/s")
+    if solve_mode:
+        t = stats.telemetry
+        solves_per_s = t.solves / elapsed
+        iters_mean = t.solve_iterations.get("mean", 0.0)
+        print(
+            f"{'solve throughput':<22} {solves_per_s:.1f} solves/s "
+            f"over {elapsed:.3f}s"
+        )
+        print(
+            f"{'convergence':<22} {t.solves_converged}/{t.solves} "
+            f"converged, {iters_mean:.1f} iters/solve"
+        )
+    else:
+        print(
+            f"{'throughput':<22} {throughput:.1f} req/s over {elapsed:.3f}s"
+        )
+        print(f"{'sweep throughput':<22} {sweeps_per_s:.1f} sweeps/s")
     if trace_path:
         from .serve import format_stage_table, stage_totals
 
@@ -176,31 +222,42 @@ def _cmd_serve_bench(args) -> int:
         print(format_stage_table(stage_totals(spans)))
     if args.json:
         t = stats.telemetry
-        print(
-            json.dumps(
+        doc = {
+            "workload": args.workload,
+            "requests": t.requests,
+            "workers": stats.workers,
+            "backend": stats.backend,
+            "transport": stats.transport,
+            "steps": args.steps,
+            "temporal_mode": temporal_mode,
+            "tuned_profile": stats.tuned_profile,
+            "mac_threads": stats.mac_threads,
+            "sweeps": t.sweeps,
+            "throughput_rps": throughput,
+            "sweeps_per_s": sweeps_per_s,
+            "latency_ms": t.latency_ms,
+            "batch_occupancy": t.occupancy,
+            "cache_hit_rate": stats.cache_hit_rate,
+            "ipc_payload_bytes": t.ipc_payload_bytes,
+            "ipc_bytes_per_request": t.ipc_bytes_per_request,
+            "errors": t.errors,
+        }
+        if solve_mode:
+            doc.update(
                 {
-                    "requests": t.requests,
-                    "workers": stats.workers,
-                    "backend": stats.backend,
-                    "transport": stats.transport,
-                    "steps": args.steps,
-                    "temporal_mode": temporal_mode,
-                    "tuned_profile": stats.tuned_profile,
-                    "mac_threads": stats.mac_threads,
-                    "sweeps": t.sweeps,
-                    "throughput_rps": throughput,
-                    "sweeps_per_s": sweeps_per_s,
-                    "latency_ms": t.latency_ms,
-                    "batch_occupancy": t.occupancy,
-                    "cache_hit_rate": stats.cache_hit_rate,
-                    "ipc_payload_bytes": t.ipc_payload_bytes,
-                    "ipc_bytes_per_request": t.ipc_bytes_per_request,
-                    "errors": t.errors,
-                },
-                indent=2,
+                    "solves": t.solves,
+                    "solves_converged": t.solves_converged,
+                    "solve_failures": t.solve_failures,
+                    "solves_per_s": t.solves / elapsed,
+                    "iterations_per_solve": t.solve_iterations.get(
+                        "mean", 0.0
+                    ),
+                    "solve_residual": t.solve_residual,
+                }
             )
-        )
-    return 0 if stats.telemetry.errors == 0 else 1
+        print(json.dumps(doc, indent=2))
+    failures = stats.telemetry.errors + stats.telemetry.solve_failures
+    return 0 if failures == 0 else 1
 
 
 def _cmd_tune(args) -> int:
@@ -377,6 +434,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--requests", type=int, default=1000)
     p.add_argument("--workers", type=int, default=4)
+    p.add_argument(
+        "--workload",
+        choices=["sweep", "solve"],
+        default="sweep",
+        help="'sweep' drives single stencil applications (default); "
+        "'solve' opens iterative Poisson solver sessions via "
+        "submit_solve — each request is a full multigrid V-cycle or "
+        "smoother-chain solve whose per-iteration operator applies ride "
+        "the shared batching path",
+    )
+    p.add_argument(
+        "--solve-dims",
+        default="2",
+        metavar="D[,D...]",
+        help="comma list of solve dimensionalities 1-3 (solve workload)",
+    )
+    p.add_argument(
+        "--solve-tol",
+        type=float,
+        default=1e-6,
+        help="relative residual tolerance per solve (solve workload)",
+    )
+    p.add_argument(
+        "--solve-iters",
+        type=int,
+        default=40,
+        help="iteration cap per solve (solve workload)",
+    )
+    p.add_argument(
+        "--cycle",
+        choices=["v", "jacobi", "rb"],
+        default="v",
+        help="iteration type per solve: multigrid V-cycle or a "
+        "weighted-Jacobi / red-black smoother chain (solve workload)",
+    )
     p.add_argument(
         "--backend",
         choices=["thread", "process"],

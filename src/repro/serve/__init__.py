@@ -15,7 +15,11 @@ requests into batched SpTC passes:
   transport (``transport="shm"``, default): per-shard slab pairs with a
   parent-side free-list allocator and generation-tagged descriptors;
 * :mod:`service` — the :class:`StencilService` façade
-  (``submit / submit_many / stats / drain``) with a synchronous fallback;
+  (``submit / submit_many / submit_solve / stats / drain``) with a
+  synchronous fallback;
+* :mod:`sessions` — solver-session futures: ``submit_solve`` decomposes a
+  multigrid V-cycle or smoother chain into per-iteration operator submits
+  riding the paths above, with convergence-aware early exit;
 * :mod:`telemetry` — latency / occupancy / cache-hit histograms feeding
   :mod:`repro.analysis`-style reports and Prometheus text exposition;
 * :mod:`metrics` — bounded streaming histograms plus the counter/gauge
@@ -47,6 +51,7 @@ from .plan_cache import (
     spec_fingerprint,
 )
 from .service import StencilService
+from .sessions import SolveHandle
 from .shm import BlockRef, SlabAllocator, SlabAttachments, SlabError
 from .telemetry import (
     Histogram,
@@ -91,6 +96,7 @@ __all__ = [
     "plan_key_for",
     "spec_fingerprint",
     "StencilService",
+    "SolveHandle",
     "BlockRef",
     "SlabAllocator",
     "SlabAttachments",

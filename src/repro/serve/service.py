@@ -35,9 +35,12 @@ from ..core.pipeline import SpiderVariant
 from ..gpu.device import A100_80GB_PCIE, DeviceSpec
 from ..sptc.macpool import resolve_mac_threads
 from ..sptc.mma import MmaPrecision
-from ..stencil.grid import Grid
+from ..stencil import multigrid
+from ..stencil.grid import BoundaryCondition, Grid
+from ..stencil.solvers import HISTORY_LIMIT, SolveResult
 from ..stencil.spec import StencilSpec
 from .batching import ServeRequest
+from .sessions import SolveHandle
 from .metrics import MetricsRegistry
 from .plan_cache import CacheStats, PlanCache, plan_key_for
 from .telemetry import ServiceStats, ServiceTelemetry, format_service_report
@@ -210,8 +213,10 @@ class StencilService:
         self.metrics = MetricsRegistry()
         self._clock = time.monotonic
         self._ids = itertools.count()
+        self._solve_ids = itertools.count()
         self._lock = threading.Lock()
         self._inflight: Deque[ServeRequest] = deque()
+        self._solves: Deque[SolveHandle] = deque()
         self._ops_since_sweep = 0
         self._submitted = 0
         self._closed = False
@@ -411,17 +416,185 @@ class StencilService:
         self._telemetry.record_batch([req], started, finished)
 
     # ------------------------------------------------------------------
+    def submit_solve(
+        self,
+        spec: StencilSpec,
+        rhs: Union[Grid, np.ndarray],
+        *,
+        x0: Optional[np.ndarray] = None,
+        tol: float = 1e-8,
+        max_iters: int = 100,
+        cycle: str = "v",
+        smoother: str = "jacobi",
+        omega: float = 2.0 / 3.0,
+        pre: int = 2,
+        post: int = 2,
+        coarse_sweeps: int = 8,
+        record_history: bool = False,
+        history_limit: int = HISTORY_LIMIT,
+    ) -> SolveHandle:
+        """Run an iterative solve of ``A u = f`` as a solver *session*.
+
+        ``spec`` is the stencil operator ``A`` (zero Dirichlet
+        boundaries), ``rhs`` the right-hand side ``f``.  The session
+        decomposes into per-iteration operator submits — smoothing sweeps,
+        residuals, full-weighting restriction and bilinear prolongation
+        for ``cycle="v"``, or a single smoother chain for
+        ``cycle="jacobi"`` / ``"rb"`` — each riding the ordinary
+        coalescing/sharding/shm path, so concurrent sessions (including
+        different multigrid levels of different solves) interleave their
+        applications in shared batches.  Residual norms are computed
+        parent-side after every iteration and the session exits as soon as
+        ``||f - A u|| / ||f|| < tol``.
+
+        Returns a :class:`~repro.serve.sessions.SolveHandle`; its
+        ``result()`` is byte-identical to running
+        :func:`repro.stencil.multigrid.solve` inline over a
+        plan-cached executor with the same configuration — same operator
+        sequence, same fused plans, same parent-side glue.
+
+        Validation (mirroring the inline solver APIs): ``tol <= 0``,
+        ``max_iters < 1``, an ``x0`` whose shape mismatches ``rhs``, an
+        unknown ``cycle``/``smoother``, or a non-zero-BC grid all raise
+        :class:`ValueError` before any request is enqueued.
+        """
+        if isinstance(rhs, Grid):
+            if rhs.bc is not BoundaryCondition.ZERO:
+                raise ValueError(
+                    "submit_solve assumes zero Dirichlet boundaries; got "
+                    f"a grid with bc={rhs.bc.name}"
+                )
+            rhs_arr = rhs.data
+        else:
+            rhs_arr = np.asarray(rhs, dtype=np.float64)
+        multigrid.validate_solve_args(
+            rhs_arr,
+            x0=x0,
+            tol=tol,
+            max_iters=max_iters,
+            cycle=cycle,
+            smoother=smoother,
+            omega=omega,
+            history_limit=history_limit,
+        )
+        # derive the operator set eagerly so a zero-diagonal spec fails
+        # here, synchronously, instead of inside the session thread
+        multigrid.multigrid_operators(spec, omega)
+        handle = SolveHandle(
+            next(self._solve_ids), cycle, rhs_arr.shape
+        )
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(
+                    "cannot submit to a closed StencilService"
+                )
+            while self._solves and self._solves[0].done():
+                self._solves.popleft()
+            self._solves.append(handle)
+        trace_ids = self.tracer.new_ids() if self.tracer.enabled else None
+        opts = dict(
+            x0=x0,
+            tol=tol,
+            max_iters=max_iters,
+            cycle=cycle,
+            smoother=smoother,
+            omega=omega,
+            pre=pre,
+            post=post,
+            coarse_sweeps=coarse_sweeps,
+            record_history=record_history,
+            history_limit=history_limit,
+        )
+        threading.Thread(
+            target=self._solve_session,
+            name=f"spider-solve-{handle.solve_id}",
+            args=(handle, spec, rhs_arr, opts, trace_ids),
+            daemon=True,
+        ).start()
+        return handle
+
+    def _solve_session(
+        self, handle: SolveHandle, spec, rhs, opts, trace_ids
+    ) -> None:
+        """Session driver (one daemon thread per in-flight solve)."""
+        clock = self._clock
+        session_start = clock()
+        iter_start = [session_start]
+
+        def on_iteration(it: int, residual: float) -> None:
+            now = clock()
+            handle._note_iteration(it, residual)
+            self._telemetry.record_solve_iteration(residual)
+            if trace_ids is not None:
+                self.tracer.record_span(
+                    "solver_iteration",
+                    f"solve-{handle.solve_id}",
+                    iter_start[0],
+                    now - iter_start[0],
+                    trace_ids[0],
+                    parent_id=trace_ids[1],
+                    args={
+                        "iteration": it,
+                        "residual": residual,
+                        "cycle": handle.cycle,
+                    },
+                )
+            iter_start[0] = now
+
+        def apply(s, g):
+            # every operator application is an ordinary served request —
+            # this is what makes sessions batch against each other
+            return self.submit(s, g).result()
+
+        try:
+            result: SolveResult = multigrid.solve(
+                spec,
+                rhs,
+                executor=apply,
+                on_iteration=on_iteration,
+                **opts,
+            )
+        except Exception as exc:
+            self._telemetry.record_solve_failure()
+            handle._fail(exc)
+            return
+        self._telemetry.record_solve(
+            result.iterations, result.residual, result.converged
+        )
+        if trace_ids is not None:
+            self.tracer.record_span(
+                "solve",
+                f"solve-{handle.solve_id}",
+                session_start,
+                clock() - session_start,
+                trace_ids[0],
+                span_id=trace_ids[1],
+                args={
+                    "iterations": result.iterations,
+                    "converged": result.converged,
+                },
+            )
+        handle._resolve(result)
+
+    # ------------------------------------------------------------------
     def drain(self, timeout: Optional[float] = None) -> None:
-        """Block until every submitted request has been served.
+        """Block until every submitted request — and every solver session —
+        has been served.
 
         Raises :class:`TimeoutError` if the deadline passes first (requests
         keep their in-flight status; drain can be retried).
         """
         deadline = None if timeout is None else self._clock() + timeout
         while True:
+            head = None
             with self._lock:
-                self._prune_inflight_locked()
-                head = self._inflight[0] if self._inflight else None
+                while self._solves and self._solves[0].done():
+                    self._solves.popleft()
+                if self._solves:
+                    head = self._solves[0]
+                else:
+                    self._prune_inflight_locked()
+                    head = self._inflight[0] if self._inflight else None
             if head is None:
                 return
             remaining = None

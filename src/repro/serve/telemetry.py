@@ -119,6 +119,19 @@ class TelemetrySnapshot:
     #: errors broken down by the pipeline stage they occurred in
     #: (submit/pack/ipc/execute/resolve); values sum to ``errors``
     errors_by_stage: Dict[str, int] = field(default_factory=dict)
+    #: completed solver sessions (``submit_solve``) and how many of them
+    #: hit their tolerance before ``max_iters`` ran out
+    solves: int = 0
+    solves_converged: int = 0
+    #: sessions that died on an exception (their operator requests are
+    #: already counted in ``errors`` where applicable)
+    solve_failures: int = 0
+    #: total solver iterations across all completed sessions (exact)
+    solve_iterations_total: int = 0
+    #: iterations-per-solve distribution (``{count, mean, p50, ...}``)
+    solve_iterations: Dict[str, float] = field(default_factory=dict)
+    #: per-iteration relative residual-norm distribution across sessions
+    solve_residual: Dict[str, float] = field(default_factory=dict)
 
     @property
     def mean_occupancy(self) -> float:
@@ -154,6 +167,12 @@ class ServiceTelemetry:
         self._queue_wait_s = make()
         self._occupancy = make()
         self._service_s = make()
+        self._solves = 0
+        self._solves_converged = 0
+        self._solve_failures = 0
+        self._solve_iterations_total = 0
+        self._solve_iters = make()
+        self._solve_residual = make()
 
     def record_batch(
         self, requests: Sequence, started_s: float, finished_s: float
@@ -188,6 +207,27 @@ class ServiceTelemetry:
                 self._errors_by_stage.get(stage, 0) + n
             )
 
+    def record_solve(
+        self, iterations: int, residual: float, converged: bool
+    ) -> None:
+        """Account one completed solver session (``submit_solve``)."""
+        with self._lock:
+            self._solves += 1
+            if converged:
+                self._solves_converged += 1
+            self._solve_iterations_total += int(iterations)
+            self._solve_iters.record(float(iterations))
+
+    def record_solve_iteration(self, residual: float) -> None:
+        """Account one solver iteration's parent-side residual norm."""
+        with self._lock:
+            self._solve_residual.record(float(residual))
+
+    def record_solve_failure(self) -> None:
+        """Account a solver session that died on an exception."""
+        with self._lock:
+            self._solve_failures += 1
+
     def record_ipc(self, payload_bytes: int) -> None:
         """Account bulk payload bytes that crossed an IPC pipe (both
         directions; the process backend's feeder and dispatcher call this
@@ -208,6 +248,12 @@ class ServiceTelemetry:
                 latency_ms=self._latency_s.summary(scale=1e3),
                 queue_wait_ms=self._queue_wait_s.summary(scale=1e3),
                 service_ms=self._service_s.summary(scale=1e3),
+                solves=self._solves,
+                solves_converged=self._solves_converged,
+                solve_failures=self._solve_failures,
+                solve_iterations_total=self._solve_iterations_total,
+                solve_iterations=self._solve_iters.summary(),
+                solve_residual=self._solve_residual.summary(),
             )
 
 
@@ -276,6 +322,25 @@ class ServiceStats:
                 float(t.ipc_payload_bytes),
             ),
             MetricSample(
+                "repro_serve_solves_total", "counter",
+                "Solver sessions completed.", float(t.solves),
+            ),
+            MetricSample(
+                "repro_serve_solves_converged_total", "counter",
+                "Solver sessions that hit tolerance before max_iters.",
+                float(t.solves_converged),
+            ),
+            MetricSample(
+                "repro_serve_solve_failures_total", "counter",
+                "Solver sessions that died on an exception.",
+                float(t.solve_failures),
+            ),
+            MetricSample(
+                "repro_serve_solve_iterations_total", "counter",
+                "Solver iterations across all completed sessions.",
+                float(t.solve_iterations_total),
+            ),
+            MetricSample(
                 "repro_serve_inflight_requests", "gauge",
                 "Requests submitted but not yet resolved.",
                 float(self.inflight),
@@ -320,9 +385,19 @@ class ServiceStats:
              "Batch execution time.", t.service_ms),
             ("repro_serve_batch_occupancy",
              "Requests fused per batch.", t.occupancy),
+            ("repro_serve_solve_iterations",
+             "Iterations per solver session.", t.solve_iterations),
+            ("repro_serve_solve_residual",
+             "Per-iteration relative residual norm.", t.solve_residual),
         ):
-            # snapshot dicts are ms-scaled except occupancy (dimensionless)
-            scale = 1.0 if name.endswith("occupancy") else 1e-3
+            if not summary:
+                continue  # solver summaries are empty on direct construction
+            # snapshot dicts are ms-scaled except the dimensionless ones
+            scale = (
+                1.0
+                if name.endswith(("occupancy", "iterations", "residual"))
+                else 1e-3
+            )
             for q, key in (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")):
                 samples.append(
                     MetricSample(
@@ -400,6 +475,23 @@ def format_service_report(stats: ServiceStats) -> str:
         ),
         f"{'batch occupancy':<22} mean {t.occupancy['mean']:.2f}"
         f"  max {t.occupancy['max']:.0f}",
+    ]
+    if t.solves or t.solve_failures:
+        lines += [
+            f"{'solver sessions':<22} {t.solves} solves"
+            f"  converged {t.solves_converged}"
+            f"  failed {t.solve_failures}",
+            f"{'iterations/solve':<22} "
+            f"mean {t.solve_iterations.get('mean', 0.0):.1f}"
+            f"  p90 {t.solve_iterations.get('p90', 0.0):.0f}"
+            f"  max {t.solve_iterations.get('max', 0.0):.0f}"
+            f"  (total {t.solve_iterations_total})",
+            f"{'solve residual':<22} "
+            f"p50 {t.solve_residual.get('p50', 0.0):.2e}"
+            f"  p90 {t.solve_residual.get('p90', 0.0):.2e}"
+            f"  max {t.solve_residual.get('max', 0.0):.2e}",
+        ]
+    lines += [
         f"{'IPC payload':<22} {t.ipc_payload_bytes / 1e6:.2f} MB piped"
         f"  ({t.ipc_bytes_per_request:.0f} B/request)",
         f"{'plan cache':<22} hits {stats.cache.hits}"

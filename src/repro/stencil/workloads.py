@@ -14,6 +14,8 @@ from typing import Iterator, List, Optional, Tuple
 import numpy as np
 
 from .grid import BoundaryCondition, Grid
+from .multigrid import CYCLES, poisson_operator_spec
+from .solvers import validate_iteration_args
 from .spec import (
     ShapeType,
     StencilSpec,
@@ -37,6 +39,10 @@ __all__ = [
     "closed_loop_stream",
     "open_loop_stream",
     "SERVING_SHAPE_IDS",
+    "SOLVER_SIZES",
+    "SolveRequest",
+    "solver_workloads",
+    "solve_stream",
 ]
 
 #: Problem sizes used in §4.2 (Figure 10).
@@ -235,6 +241,93 @@ def closed_loop_stream(
     for _ in range(n_requests):
         wl = workloads[int(rng.choice(len(workloads), p=p))]
         yield ServingRequest(wl, wl.make_grid(rng), 0.0)
+
+
+# ----------------------------------------------------------------------
+# Solver traffic (iterative-solve sessions for submit_solve)
+# ----------------------------------------------------------------------
+
+#: default per-dimensionality Poisson solve sizes — vertex-centred
+#: ``2**k - 1`` sides so multigrid coarsens all the way down
+SOLVER_SIZES = {1: (63,), 2: (31, 31), 3: (15, 15, 15)}
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One element of a solver traffic trace: a full iterative solve of
+    ``A u = f`` to drive through ``StencilService.submit_solve``.
+
+    ``arrival_s`` follows the same convention as :class:`ServingRequest`:
+    0.0 in closed-loop traces, Poisson-cumulative in open-loop ones.
+    """
+
+    workload: Workload
+    rhs: Grid
+    tol: float = 1e-6
+    max_iters: int = 40
+    cycle: str = "v"
+    arrival_s: float = 0.0
+
+    @property
+    def spec(self) -> StencilSpec:
+        return self.workload.spec
+
+
+def solver_workloads(
+    dims: Tuple[int, ...] = (2,),
+    *,
+    size_1d: Tuple[int, ...] = SOLVER_SIZES[1],
+    size_2d: Tuple[int, ...] = SOLVER_SIZES[2],
+    size_3d: Tuple[int, ...] = SOLVER_SIZES[3],
+) -> List[Workload]:
+    """Poisson solver workloads, one per requested dimensionality.
+
+    Each pairs the dimensionless negative-Laplacian operator
+    (:func:`~repro.stencil.multigrid.poisson_operator_spec`) with a
+    multigrid-friendly odd-sided grid; a mixed-dims list exercises the
+    plan cache with several solver hierarchies at once.
+    """
+    sizes = {1: tuple(size_1d), 2: tuple(size_2d), 3: tuple(size_3d)}
+    return [Workload(poisson_operator_spec(d), sizes[d]) for d in dims]
+
+
+def solve_stream(
+    workloads: List[Workload],
+    n_solves: int,
+    *,
+    tol: float = 1e-6,
+    max_iters: int = 40,
+    cycle: str = "v",
+    rate_sps: float = 0.0,
+    seed: int = 0,
+    weights: Optional[List[float]] = None,
+) -> Iterator[SolveRequest]:
+    """Solver traffic: ``n_solves`` iterative solves over ``workloads``.
+
+    ``rate_sps = 0`` yields a closed-loop burst (issue as fast as sessions
+    can be opened); ``rate_sps > 0`` yields Poisson arrivals at that many
+    solves/second.  Each request draws a fresh random right-hand side, so
+    a trace is repeat-heavy per operator but unique per solve — the
+    heterogeneous multi-plan request graph the batcher and cache are
+    stressed by (every multigrid level of every session is its own plan).
+    """
+    validate_iteration_args(tol, max_iters, name="max_iters")
+    if cycle not in CYCLES:
+        raise ValueError(
+            f"unsupported cycle {cycle!r}; choose one of {CYCLES}"
+        )
+    if rate_sps < 0:
+        raise ValueError(f"rate_sps must be >= 0, got {rate_sps}")
+    rng = np.random.default_rng(seed)
+    p = _pick_weights(len(workloads), weights)
+    t = 0.0
+    for _ in range(n_solves):
+        if rate_sps > 0:
+            t += float(rng.exponential(1.0 / rate_sps))
+        wl = workloads[int(rng.choice(len(workloads), p=p))]
+        yield SolveRequest(
+            wl, wl.make_grid(rng), tol, max_iters, cycle, t
+        )
 
 
 def open_loop_stream(

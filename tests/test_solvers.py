@@ -5,7 +5,10 @@ import pytest
 
 from repro import Grid, Spider, named_stencil
 from repro.stencil import ShapeType, StencilSpec
+from repro.stencil import multigrid, poisson_operator_spec
 from repro.stencil.solvers import (
+    PlanExecutor,
+    default_plan_executor,
     jacobi_poisson,
     power_iteration,
     richardson,
@@ -116,3 +119,123 @@ class TestPowerIteration:
     def test_validation(self):
         with pytest.raises(ValueError):
             power_iteration(named_stencil("jacobi2d"), (8, 8), iters=0)
+
+
+class TestValidation:
+    """Solver APIs reject bad arguments with ValueError, eagerly."""
+
+    @pytest.mark.parametrize("tol", [0.0, -1e-8, float("nan")])
+    def test_bad_tol(self, tol):
+        with pytest.raises(ValueError):
+            jacobi_poisson(np.zeros((8, 8)), tol=tol)
+        with pytest.raises(ValueError):
+            richardson(
+                np.zeros((8, 8)), named_stencil("jacobi2d"), tol=tol
+            )
+
+    @pytest.mark.parametrize("max_iter", [0, -5])
+    def test_bad_max_iter(self, max_iter):
+        with pytest.raises(ValueError):
+            jacobi_poisson(np.zeros((8, 8)), max_iter=max_iter)
+
+    def test_bad_history_limit(self):
+        with pytest.raises(ValueError):
+            jacobi_poisson(
+                np.zeros((8, 8)), record_history=True, history_limit=0
+            )
+
+    def test_history_ring_keeps_tail(self, rng):
+        rhs = rng.standard_normal((12, 12))
+        res = jacobi_poisson(
+            rhs,
+            tol=1e-14,
+            max_iter=50,
+            record_history=True,
+            history_limit=8,
+        )
+        assert res.iterations == 50  # exact count survives bounding
+        assert len(res.residual_history) == 8
+        assert res.residual_history[-1] == res.residual
+
+
+class TestPlanExecutor:
+    """The cached-plan executor behind solver sessions."""
+
+    def test_matches_spider_pipeline(self, rng):
+        spec = named_stencil("heat2d")
+        grid = Grid.random((24, 24), rng)
+        ref = Spider(spec).run(grid)
+        with PlanExecutor(mac_threads=1) as ex:
+            out = ex(spec, grid)
+            again = ex(spec, grid)
+        assert np.array_equal(out, ref)
+        assert out.tobytes() == again.tobytes()  # reruns are bit-stable
+
+    def test_plans_are_cached_across_calls(self, rng):
+        spec = named_stencil("heat2d")
+        with PlanExecutor(mac_threads=1) as ex:
+            for _ in range(4):
+                ex(spec, Grid.random((16, 16), rng))
+            stats = ex.stats()
+        assert stats.misses == 1
+        assert stats.hits == 3
+
+    def test_default_executor_is_shared(self):
+        assert default_plan_executor() is default_plan_executor()
+
+    def test_solver_drivers_accept_plan_executor(self, rng):
+        rhs = rng.standard_normal((16, 16))
+        a = jacobi_poisson(rhs, tol=1e-9, max_iter=5000)
+        with PlanExecutor(mac_threads=1) as ex:
+            b = jacobi_poisson(rhs, executor=ex, tol=1e-9, max_iter=5000)
+        assert b.converged == a.converged
+        assert b.iterations == a.iterations
+        assert np.allclose(a.solution, b.solution, atol=1e-7)
+
+
+class TestMultigridSolve:
+    """The V-cycle driver solver sessions are built on."""
+
+    @pytest.mark.parametrize(
+        "shape", [(63,), (31, 31), (15, 15, 15)], ids=["1d", "2d", "3d"]
+    )
+    def test_v_cycle_converges_fast(self, shape, rng):
+        spec = poisson_operator_spec(len(shape))
+        rhs = rng.standard_normal(shape)
+        res = multigrid.solve(spec, rhs, tol=1e-8, max_iters=30)
+        assert res.converged
+        assert res.iterations <= 20  # textbook multigrid, not smoothing
+        assert _poisson_residual(res.solution, rhs) < 1e-7
+
+    def test_v_cycle_beats_smoother_chain(self, rng):
+        spec = poisson_operator_spec(2)
+        rhs = rng.standard_normal((31, 31))
+        mg = multigrid.solve(spec, rhs, tol=1e-6, max_iters=50)
+        jac = multigrid.solve(
+            spec, rhs, tol=1e-6, max_iters=50, cycle="jacobi"
+        )
+        assert mg.converged
+        assert mg.iterations < 50
+        assert mg.residual < jac.residual
+
+    def test_red_black_beats_weighted_jacobi(self, rng):
+        spec = poisson_operator_spec(2)
+        rhs = rng.standard_normal((31, 31))
+        kw = dict(tol=1e-12, max_iters=40)
+        jac = multigrid.solve(spec, rhs, cycle="jacobi", **kw)
+        rb = multigrid.solve(spec, rhs, cycle="rb", **kw)
+        assert rb.residual < jac.residual
+
+    def test_solve_validation_mirrors_iteration_args(self):
+        spec = poisson_operator_spec(2)
+        rhs = np.zeros((31, 31))
+        for kwargs in [
+            dict(tol=0.0),
+            dict(max_iters=0),
+            dict(cycle="w"),
+            dict(smoother="sor"),
+            dict(omega=-0.5),
+            dict(x0=np.zeros((9, 9))),
+        ]:
+            with pytest.raises(ValueError):
+                multigrid.solve(spec, rhs, **kwargs)
