@@ -117,7 +117,7 @@ def _cmd_serve_bench(args) -> int:
     import json
     import time
 
-    from .serve import StencilService, format_service_report
+    from .serve import FaultPlan, StencilService, format_service_report
     from .stencil.workloads import (
         closed_loop_stream,
         open_loop_stream,
@@ -160,6 +160,11 @@ def _cmd_serve_bench(args) -> int:
         requests = list(stream)
 
     trace_path = getattr(args, "trace", None)
+    faults = None
+    if getattr(args, "faults", None):
+        faults = FaultPlan.coerce(args.faults)
+    elif getattr(args, "fault_rate", 0.0) > 0:
+        faults = FaultPlan.chaos(args.fault_rate, seed=args.seed)
     with StencilService(
         workers=args.workers,
         max_batch_size=args.batch,
@@ -170,6 +175,7 @@ def _cmd_serve_bench(args) -> int:
         trace=trace_path is not None,
         mac_threads=args.mac_threads,
         tuned_profile=args.tuned_profile,
+        faults=faults,
     ) as svc:
         temporal_mode = svc.temporal_mode
         start = time.perf_counter()
@@ -241,6 +247,13 @@ def _cmd_serve_bench(args) -> int:
             "ipc_payload_bytes": t.ipc_payload_bytes,
             "ipc_bytes_per_request": t.ipc_bytes_per_request,
             "errors": t.errors,
+            "fault_rate": getattr(args, "fault_rate", 0.0),
+            "faults_injected": t.faults_injected,
+            "retries": t.retries,
+            "worker_restarts": t.worker_restarts,
+            "slab_degrades": t.slab_degrades,
+            "inline_batches": t.inline_batches,
+            "solve_resumes": t.solve_resumes,
         }
         if solve_mode:
             doc.update(
@@ -549,6 +562,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="OUT.json",
         help="enable span tracing and write a Chrome trace_event JSON "
         "(Perfetto-loadable) plus a per-stage attribution table",
+    )
+    p.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="chaos mode: inject seeded worker kills (process backend) "
+        "and transient batch failures at this per-batch probability; the "
+        "self-healing layer must absorb them — the bench fails on any "
+        "failed request",
+    )
+    p.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="explicit fault-injection plan: inline JSON or a path to a "
+        "FaultPlan JSON file (overrides --fault-rate)",
     )
     p.set_defaults(fn=_cmd_serve_bench)
 

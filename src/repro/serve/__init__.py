@@ -27,13 +27,25 @@ requests into batched SpTC passes:
 * :mod:`tracing` — end-to-end span tracing (submit → coalesce → pack →
   ipc → mac → unpack → resolve, across process boundaries) with Chrome
   ``trace_event`` export and per-stage time attribution;
+* :mod:`faults` — the deterministic fault-injection harness
+  (:class:`FaultPlan` / :class:`FaultInjector`) driving the self-healing
+  layer's chaos tests: seeded worker kills, slab corruption, queue
+  stalls, pack failures — all counted parent-side so schedules are
+  replayable and survive worker respawns;
 * :mod:`tuning` — the ``repro tune`` engine: calibrate the
   :mod:`repro.core.costmodel` roofline from measured serve batches, rank
   the knob grid, cross-check top candidates against micro-benches, and
   emit the tuned-profile JSON a :class:`StencilService` loads at startup.
 """
 
-from .batching import BatchQueue, ServeRequest
+from .batching import BatchQueue, DeadlineExceeded, ServeRequest
+from .faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -50,7 +62,7 @@ from .plan_cache import (
     plan_key_for,
     spec_fingerprint,
 )
-from .service import StencilService
+from .service import ServiceClosedError, StencilService
 from .sessions import SolveHandle
 from .shm import BlockRef, SlabAllocator, SlabAttachments, SlabError
 from .telemetry import (
@@ -82,14 +94,27 @@ from .workers import (
     TEMPORAL_MODES,
     WORKER_BACKENDS,
     WORKER_TRANSPORTS,
+    RetryPolicy,
     ServeWorker,
+    WorkerCrashed,
     WorkerPool,
     execute_serve_batch,
+    is_transient_failure,
 )
 
 __all__ = [
     "BatchQueue",
+    "DeadlineExceeded",
     "ServeRequest",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "RetryPolicy",
+    "ServiceClosedError",
+    "WorkerCrashed",
+    "is_transient_failure",
     "CacheStats",
     "PlanCache",
     "PlanKey",

@@ -36,7 +36,18 @@ from ..stencil.grid import Grid
 from ..stencil.spec import StencilSpec
 from .plan_cache import PlanKey
 
-__all__ = ["BatchQueue", "ServeRequest"]
+__all__ = ["BatchQueue", "DeadlineExceeded", "ServeRequest"]
+
+
+class DeadlineExceeded(TimeoutError):
+    """A request (or solver session) outlived its deadline.
+
+    Raised from ``result()`` when the coalescing queue or a dispatch path
+    expired the future — deadlines are enforced *server-side*, so an
+    expired request stops consuming worker time instead of merely timing
+    out its caller's wait.  Never retried: a deadline is a statement that
+    the answer has stopped being useful.
+    """
 
 
 class ServeRequest:
@@ -54,12 +65,22 @@ class ServeRequest:
         grid: Grid,
         key: PlanKey,
         submitted_s: float,
+        *,
+        deadline_s: Optional[float] = None,
     ) -> None:
         self.req_id = req_id
         self.spec = spec
         self.grid = grid
         self.key = key
         self.submitted_s = submitted_s
+        #: absolute monotonic-clock deadline; the queue and dispatch paths
+        #: expire the future with :class:`DeadlineExceeded` once passed
+        self.deadline_s = deadline_s
+        #: re-enqueues left after a transient failure (worker crash, slab
+        #: error); ``None`` until the owning pool stamps its retry budget
+        #: on first submit.  Safe to retry at all because a request is a
+        #: pure function of (plan, grid) — re-execution is byte-identical.
+        self.retries_left: Optional[int] = None
         #: (trace_id, root span_id) when the owning service traces this
         #: request; workers parent their spans under the root span
         self.trace: Optional[tuple] = None
@@ -67,10 +88,15 @@ class ServeRequest:
         self.finished_s: Optional[float] = None
         self.batch_size: Optional[int] = None
         self._event = threading.Event()
+        self._done_lock = threading.Lock()
         self._result: Optional[np.ndarray] = None
         self._error: Optional[BaseException] = None
 
     # -- worker side ----------------------------------------------------
+    # _resolve/_fail are idempotent (first completion wins): retry can
+    # transiently leave two copies of a request in flight — e.g. a batch
+    # presumed lost on a dead shard whose result was already in the pipe —
+    # and the duplicate's completion must be a no-op, not an overwrite.
     def _resolve(
         self,
         value: np.ndarray,
@@ -79,17 +105,27 @@ class ServeRequest:
         started_s: float,
         finished_s: float,
     ) -> None:
-        self._result = value
-        self.batch_size = batch_size
-        self.started_s = started_s
-        self.finished_s = finished_s
-        self._event.set()
+        with self._done_lock:
+            if self._event.is_set():
+                return
+            self._result = value
+            self.batch_size = batch_size
+            self.started_s = started_s
+            self.finished_s = finished_s
+            self._event.set()
 
     def _fail(self, exc: BaseException, *, started_s: float, finished_s: float) -> None:
-        self._error = exc
-        self.started_s = started_s
-        self.finished_s = finished_s
-        self._event.set()
+        with self._done_lock:
+            if self._event.is_set():
+                return
+            self._error = exc
+            self.started_s = started_s
+            self.finished_s = finished_s
+            self._event.set()
+
+    def expired(self, now: float) -> bool:
+        """True once the request's deadline (if any) has passed."""
+        return self.deadline_s is not None and now >= self.deadline_s
 
     @property
     def steps(self) -> int:
@@ -177,6 +213,10 @@ class BatchQueue:
         self._pending_count = 0
         self._cond = threading.Condition()
         self._closed = False
+        #: called with the list of requests this queue expired (already
+        #: failed with :class:`DeadlineExceeded`) — the owning pool hangs
+        #: its telemetry here
+        self.on_expired: Optional[Callable[[List[ServeRequest]], None]] = None
 
     def bind_metrics(self, registry) -> None:
         """Register coalescing counters into a
@@ -223,46 +263,83 @@ class BatchQueue:
         Blocks until at least one request is pending, then waits up to the
         head request's deadline for more requests with the *same* plan key,
         releasing early when ``max_batch_size`` is reached.
+
+        Request deadlines are enforced here (the "at coalescing" half of
+        the deadline contract): the wait wakes no later than the head
+        request's deadline, and every popped request whose deadline has
+        passed is failed with :class:`DeadlineExceeded` instead of being
+        handed to a worker — an expired future never costs execute time.
         """
-        with self._cond:
-            while not self._pending_count:
-                if self._closed:
-                    return None
-                self._cond.wait()
-            while True:
-                # priority 1: the oldest pending head, once its coalescing
-                # window has expired (or on close/full) — this bounds how
-                # long a cold key can be delayed by hot traffic
-                key, fifo = min(
-                    self._by_key.items(), key=lambda kv: kv[1][0].submitted_s
-                )
-                if self._closed or len(fifo) >= self.max_batch_size:
-                    break
-                remaining = fifo[0].submitted_s + self.max_wait_s - self._clock()
-                if remaining <= 0:
-                    break
-                # priority 2: while the oldest head is still inside its
-                # window, a different key that already has a full batch
-                # releases immediately instead of idling the worker
-                full = [
-                    kv
-                    for kv in self._by_key.items()
-                    if len(kv[1]) >= self.max_batch_size
-                ]
-                if full:
+        while True:
+            with self._cond:
+                while not self._pending_count:
+                    if self._closed:
+                        return None
+                    self._cond.wait()
+                while True:
+                    # priority 1: the oldest pending head, once its
+                    # coalescing window has expired (or on close/full) —
+                    # this bounds how long a cold key can be delayed by
+                    # hot traffic
                     key, fifo = min(
-                        full, key=lambda kv: kv[1][0].submitted_s
+                        self._by_key.items(),
+                        key=lambda kv: kv[1][0].submitted_s,
                     )
-                    break
-                self._cond.wait(remaining)
-            batch = []
-            while fifo and len(batch) < self.max_batch_size:
-                batch.append(fifo.popleft())
-            if not fifo:
-                del self._by_key[key]
-            self._pending_count -= len(batch)
-        if self._coalesced_batches is not None:
-            self._coalesced_batches.inc()
-            self._coalesced_requests.inc(len(batch))
-            self._coalesced_sweeps.inc(len(batch) * key.steps)
-        return batch
+                    if self._closed or len(fifo) >= self.max_batch_size:
+                        break
+                    now = self._clock()
+                    remaining = fifo[0].submitted_s + self.max_wait_s - now
+                    if fifo[0].deadline_s is not None:
+                        # an expired head releases its batch immediately
+                        # (it is failed below, co-batched live requests
+                        # just ship a window early)
+                        remaining = min(
+                            remaining, fifo[0].deadline_s - now
+                        )
+                    if remaining <= 0:
+                        break
+                    # priority 2: while the oldest head is still inside
+                    # its window, a different key that already has a full
+                    # batch releases immediately instead of idling the
+                    # worker
+                    full = [
+                        kv
+                        for kv in self._by_key.items()
+                        if len(kv[1]) >= self.max_batch_size
+                    ]
+                    if full:
+                        key, fifo = min(
+                            full, key=lambda kv: kv[1][0].submitted_s
+                        )
+                        break
+                    self._cond.wait(remaining)
+                batch = []
+                while fifo and len(batch) < self.max_batch_size:
+                    batch.append(fifo.popleft())
+                if not fifo:
+                    del self._by_key[key]
+                self._pending_count -= len(batch)
+            now = self._clock()
+            expired = [r for r in batch if r.expired(now)]
+            if expired:
+                for r in expired:
+                    r._fail(
+                        DeadlineExceeded(
+                            f"request {r.req_id} missed its deadline "
+                            "while queued"
+                        ),
+                        started_s=now,
+                        finished_s=now,
+                    )
+                if self.on_expired is not None:
+                    self.on_expired(expired)
+                batch = [r for r in batch if not r.done()]
+            if not batch:
+                # everything in this pop expired: go around (there may be
+                # nothing left pending, or the queue may have closed)
+                continue
+            if self._coalesced_batches is not None:
+                self._coalesced_batches.inc()
+                self._coalesced_requests.inc(len(batch))
+                self._coalesced_sweeps.inc(len(batch) * key.steps)
+            return batch

@@ -39,7 +39,8 @@ from ..stencil import multigrid
 from ..stencil.grid import BoundaryCondition, Grid
 from ..stencil.solvers import HISTORY_LIMIT, SolveResult
 from ..stencil.spec import StencilSpec
-from .batching import ServeRequest
+from .batching import DeadlineExceeded, ServeRequest
+from .faults import FaultInjector, FaultPlan, InjectedFault
 from .sessions import SolveHandle
 from .metrics import MetricsRegistry
 from .plan_cache import CacheStats, PlanCache, plan_key_for
@@ -53,11 +54,22 @@ from .tracing import (
 from .workers import (
     TEMPORAL_MODES,
     WORKER_TRANSPORTS,
+    RetryPolicy,
     WorkerPool,
     execute_serve_batch,
+    is_transient_failure,
 )
 
-__all__ = ["StencilService"]
+__all__ = ["ServiceClosedError", "StencilService"]
+
+
+class ServiceClosedError(RuntimeError):
+    """Raised by ``submit`` / ``submit_solve`` on a closed service.
+
+    Subclasses :class:`RuntimeError` so pre-existing callers catching the
+    broad class keep working; new callers can distinguish "service shut
+    down" from worker-side failures.
+    """
 
 
 class StencilService:
@@ -132,6 +144,23 @@ class StencilService:
         bit-identical for every profile — tuned knobs steer parallelism
         and batching, never numerics.  The active profile is visible in
         :meth:`stats` and the service report.
+    retry_policy:
+        The self-healing budget knobs (:class:`repro.serve.workers.RetryPolicy`):
+        per-request retry budget, worker restart budget and backoff, slab
+        degradation threshold, inline fallback, and per-session solve
+        resume budget.  ``None`` selects the defaults (recovery on);
+        ``RetryPolicy.disabled()`` restores fail-fast semantics.
+    default_deadline_s:
+        Service-wide default request deadline in seconds (``None`` = no
+        deadline).  ``submit(..., timeout=)`` overrides it per request;
+        expired requests fail with :class:`~repro.serve.batching.DeadlineExceeded`
+        at coalescing or dispatch instead of occupying workers.
+    faults:
+        Deterministic fault-injection plan for chaos testing — a
+        :class:`~repro.serve.faults.FaultPlan`, its dict form, inline
+        JSON, or a path to a JSON file.  When ``None`` the plan armed via
+        the ``REPRO_FAULTS`` environment variable (if any) is loaded, so
+        whole test suites can run under injected chaos unmodified.
     """
 
     def __init__(
@@ -152,9 +181,16 @@ class StencilService:
         mac_threads: Optional[int] = None,
         mac_col_block: Optional[int] = None,
         tuned_profile: Union[TunedProfile, dict, str, None] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        default_deadline_s: Optional[float] = None,
+        faults: Union[FaultPlan, dict, str, None] = None,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        if default_deadline_s is not None and default_deadline_s <= 0:
+            raise ValueError(
+                f"default_deadline_s must be > 0, got {default_deadline_s}"
+            )
         profile = tuned_profile
         if isinstance(profile, str):
             profile = TunedProfile.load(profile)
@@ -208,6 +244,19 @@ class StencilService:
             transport if (workers > 0 and backend == "process") else "local"
         )
         self.temporal_mode = temporal_mode
+        self._policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self._default_deadline_s = default_deadline_s
+        fault_plan = FaultPlan.coerce(faults)
+        if fault_plan is None:
+            fault_plan = FaultPlan.from_env()
+        self.fault_plan: Optional[FaultPlan] = fault_plan
+        # the sync fallback executes on the caller thread, so it carries
+        # its own injector (the pool-owned one never sees those batches)
+        self._sync_injector = (
+            FaultInjector(fault_plan)
+            if (workers == 0 and fault_plan is not None and fault_plan)
+            else None
+        )
         self._telemetry = ServiceTelemetry(exact=exact_telemetry)
         self.tracer = SpanRecorder(enabled=trace)
         self.metrics = MetricsRegistry()
@@ -238,6 +287,8 @@ class StencilService:
                 mac_threads=mac_threads,
                 mac_col_block=mac_col_block,
                 tuned_plans=tuned_plans,
+                retry_policy=self._policy,
+                faults=fault_plan,
             )
             self.mac_threads = self._pool.mac_threads
             if backend == "thread":
@@ -275,6 +326,8 @@ class StencilService:
         spec: StencilSpec,
         grid: Union[Grid, np.ndarray],
         steps: int = 1,
+        *,
+        timeout: Optional[float] = None,
     ) -> ServeRequest:
         """Enqueue ``steps`` sweeps; returns a future-like :class:`ServeRequest`.
 
@@ -284,10 +337,19 @@ class StencilService:
         under the default ``temporal_mode="exact"``.  Requests coalesce by
         ``(plan, steps)``: only same-plan requests advancing the same
         number of sweeps share a batch.
+
+        ``timeout`` attaches a deadline (seconds from now; defaults to the
+        service's ``default_deadline_s``): a request still unserved when it
+        expires fails with :class:`~repro.serve.batching.DeadlineExceeded`
+        — shed at the coalescing queue or at dispatch rather than occupying
+        a worker.  A request whose execution already started runs to
+        completion.
         """
         steps = int(steps)
         if steps < 1:
             raise ValueError(f"steps must be >= 1, got {steps}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
         if not isinstance(grid, Grid):
             grid = Grid(np.asarray(grid))
         key = plan_key_for(
@@ -300,13 +362,16 @@ class StencilService:
             key=key,
             submitted_s=self._clock(),
         )
+        deadline = timeout if timeout is not None else self._default_deadline_s
+        if deadline is not None:
+            req.deadline_s = req.submitted_s + deadline
         if self.tracer.enabled:
             req.trace = self.tracer.new_ids()
         with self._lock:
             # closed-check and enqueue share the lock so a concurrent
             # close() cannot slip between them
             if self._closed:
-                raise RuntimeError(
+                raise ServiceClosedError(
                     "cannot submit to a closed StencilService"
                 )
             self._submitted += 1
@@ -371,15 +436,48 @@ class StencilService:
         return self.submit(spec, grid, steps=steps).result(timeout)
 
     def _run_sync(self, req: ServeRequest) -> None:
-        """Synchronous fallback: the caller thread is the worker."""
+        """Synchronous fallback: the caller thread is the worker.
+
+        Shares the self-healing contract with the pooled backends: expired
+        requests fail with :class:`DeadlineExceeded` before execution, and
+        transient failures (including injected ``fail_batch`` faults)
+        retry up to the policy's per-request budget.
+        """
         assert self._sync_cache is not None
         started = self._clock()
+        if req.expired(started):
+            req._fail(
+                DeadlineExceeded(
+                    f"request {req.req_id} missed its deadline"
+                ),
+                started_s=started,
+                finished_s=started,
+            )
+            self._telemetry.record_error([req], stage="deadline")
+            return
         tracing = req.trace is not None and self.tracer.enabled
-        try:
-            if tracing:
-                with batch_context(
-                    self.tracer, req.trace[0], req.trace[1], "sync"
+        attempts_left = self._policy.retry_budget
+        while True:
+            try:
+                if self._sync_injector is not None and (
+                    self._sync_injector.should_fire("fail_batch", 0)
                 ):
+                    self._telemetry.record_fault_injected()
+                    raise InjectedFault(
+                        "injected fail_batch fault (sync backend)"
+                    )
+                if tracing:
+                    with batch_context(
+                        self.tracer, req.trace[0], req.trace[1], "sync"
+                    ):
+                        out = execute_serve_batch(
+                            self._sync_cache,
+                            req.key,
+                            req.spec,
+                            [req.grid],
+                            self.temporal_mode,
+                        )[0]
+                else:
                     out = execute_serve_batch(
                         self._sync_cache,
                         req.key,
@@ -387,19 +485,16 @@ class StencilService:
                         [req.grid],
                         self.temporal_mode,
                     )[0]
-            else:
-                out = execute_serve_batch(
-                    self._sync_cache,
-                    req.key,
-                    req.spec,
-                    [req.grid],
-                    self.temporal_mode,
-                )[0]
-        except Exception as exc:
-            finished = self._clock()
-            req._fail(exc, started_s=started, finished_s=finished)
-            self._telemetry.record_error([req], stage="execute")
-            return
+            except Exception as exc:
+                if is_transient_failure(exc) and attempts_left > 0:
+                    attempts_left -= 1
+                    self._telemetry.record_retries()
+                    continue
+                finished = self._clock()
+                req._fail(exc, started_s=started, finished_s=finished)
+                self._telemetry.record_error([req], stage="execute")
+                return
+            break
         finished = self._clock()
         req._resolve(
             out, batch_size=1, started_s=started, finished_s=finished
@@ -432,6 +527,7 @@ class StencilService:
         coarse_sweeps: int = 8,
         record_history: bool = False,
         history_limit: int = HISTORY_LIMIT,
+        timeout: Optional[float] = None,
     ) -> SolveHandle:
         """Run an iterative solve of ``A u = f`` as a solver *session*.
 
@@ -457,7 +553,23 @@ class StencilService:
         ``max_iters < 1``, an ``x0`` whose shape mismatches ``rhs``, an
         unknown ``cycle``/``smoother``, or a non-zero-BC grid all raise
         :class:`ValueError` before any request is enqueued.
+
+        ``timeout`` (seconds; defaults to the service's
+        ``default_deadline_s``) deadlines the whole session: every
+        per-iteration operator submit inherits the *remaining* budget, and
+        the handle fails with
+        :class:`~repro.serve.batching.DeadlineExceeded` once it runs out —
+        a session never outlives its deadline by one iteration.
+
+        A session is also *self-healing*: if an operator application fails
+        transiently (worker crash, slab error, injected fault) after
+        iteration ``k`` completed, the driver resumes the solve from the
+        checkpointed iterate ``u_k`` — byte-identical to the uninterrupted
+        trajectory, because iteration ``k+1`` depends only on ``u_k`` and
+        ``f`` — up to ``RetryPolicy.solve_retries`` times per session.
         """
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
         if isinstance(rhs, Grid):
             if rhs.bc is not BoundaryCondition.ZERO:
                 raise ValueError(
@@ -485,13 +597,15 @@ class StencilService:
         )
         with self._lock:
             if self._closed:
-                raise RuntimeError(
+                raise ServiceClosedError(
                     "cannot submit to a closed StencilService"
                 )
             while self._solves and self._solves[0].done():
                 self._solves.popleft()
             self._solves.append(handle)
         trace_ids = self.tracer.new_ids() if self.tracer.enabled else None
+        budget = timeout if timeout is not None else self._default_deadline_s
+        deadline_s = None if budget is None else self._clock() + budget
         opts = dict(
             x0=x0,
             tol=tol,
@@ -508,23 +622,41 @@ class StencilService:
         threading.Thread(
             target=self._solve_session,
             name=f"spider-solve-{handle.solve_id}",
-            args=(handle, spec, rhs_arr, opts, trace_ids),
+            args=(handle, spec, rhs_arr, opts, trace_ids, deadline_s),
             daemon=True,
         ).start()
         return handle
 
     def _solve_session(
-        self, handle: SolveHandle, spec, rhs, opts, trace_ids
+        self, handle: SolveHandle, spec, rhs, opts, trace_ids, deadline_s
     ) -> None:
-        """Session driver (one daemon thread per in-flight solve)."""
+        """Session driver (one daemon thread per in-flight solve).
+
+        The driver owns the session's self-healing: ``on_state``
+        checkpoints the last completed iterate, and a transient failure
+        (within ``RetryPolicy.solve_retries``) restarts
+        :func:`multigrid.solve` with ``x0`` = that checkpoint and the
+        *remaining* iteration budget.  Because iteration ``k+1`` is a pure
+        function of ``u_k`` and ``f``, the resumed trajectory — and the
+        stitched iteration count / residual history — is byte-identical to
+        an uninterrupted run.
+        """
         clock = self._clock
         session_start = clock()
         iter_start = [session_start]
+        # iterations completed in *prior* (interrupted) runs, and the last
+        # checkpointed iterate / per-run progress of the current one
+        base = [0]
+        state = {"u": None, "run_it": 0}
+        run_hist: List[float] = []
+        prior_hist: List[float] = []
+        resumes_left = self._policy.solve_retries
 
         def on_iteration(it: int, residual: float) -> None:
             now = clock()
-            handle._note_iteration(it, residual)
+            handle._note_iteration(base[0] + it, residual)
             self._telemetry.record_solve_iteration(residual)
+            run_hist.append(residual)
             if trace_ids is not None:
                 self.tracer.record_span(
                     "solver_iteration",
@@ -534,30 +666,79 @@ class StencilService:
                     trace_ids[0],
                     parent_id=trace_ids[1],
                     args={
-                        "iteration": it,
+                        "iteration": base[0] + it,
                         "residual": residual,
                         "cycle": handle.cycle,
                     },
                 )
             iter_start[0] = now
 
+        def on_state(it: int, u: np.ndarray) -> None:
+            # checkpoint the completed iterate for byte-identical resume
+            state["u"] = u
+            state["run_it"] = it
+
         def apply(s, g):
             # every operator application is an ordinary served request —
-            # this is what makes sessions batch against each other
-            return self.submit(s, g).result()
+            # this is what makes sessions batch against each other.  Under
+            # a session deadline every submit inherits the remaining
+            # budget, so the per-request machinery sheds expired work.
+            if deadline_s is None:
+                return self.submit(s, g).result()
+            remaining = deadline_s - clock()
+            if remaining <= 0:
+                raise DeadlineExceeded(
+                    f"solve {handle.solve_id} missed its deadline after "
+                    f"{base[0] + state['run_it']} iterations"
+                )
+            return self.submit(s, g, timeout=remaining).result()
 
-        try:
-            result: SolveResult = multigrid.solve(
-                spec,
-                rhs,
-                executor=apply,
-                on_iteration=on_iteration,
-                **opts,
+        while True:
+            run_opts = dict(opts)
+            if state["u"] is not None:
+                run_opts["x0"] = state["u"]
+                run_opts["max_iters"] = opts["max_iters"] - base[0]
+            try:
+                result: SolveResult = multigrid.solve(
+                    spec,
+                    rhs,
+                    executor=apply,
+                    on_iteration=on_iteration,
+                    on_state=on_state,
+                    **run_opts,
+                )
+            except Exception as exc:
+                completed = base[0] + state["run_it"]
+                can_resume = (
+                    is_transient_failure(exc)
+                    and resumes_left > 0
+                    and opts["max_iters"] - completed >= 1
+                    and not isinstance(exc, DeadlineExceeded)
+                )
+                if not can_resume:
+                    self._telemetry.record_solve_failure()
+                    handle._fail(exc)
+                    return
+                resumes_left -= 1
+                base[0] = completed
+                state["run_it"] = 0
+                prior_hist.extend(run_hist)
+                run_hist.clear()
+                self._telemetry.record_solve_resume()
+                continue
+            break
+        if base[0] > 0:
+            # stitch the interrupted runs back into one seamless result
+            full_hist = prior_hist + list(result.residual_history)
+            if opts["record_history"]:
+                full_hist = full_hist[-int(opts["history_limit"]):]
+            else:
+                full_hist = []
+            result = _dc_replace(
+                result,
+                iterations=base[0] + result.iterations,
+                residual_history=full_hist,
             )
-        except Exception as exc:
-            self._telemetry.record_solve_failure()
-            handle._fail(exc)
-            return
         self._telemetry.record_solve(
             result.iterations, result.residual, result.converged
         )

@@ -33,8 +33,10 @@ __all__ = [
     "format_service_report",
 ]
 
-#: Stages an error can be attributed to, in pipeline order.
-ERROR_STAGES = ("submit", "pack", "ipc", "execute", "resolve")
+#: Stages an error can be attributed to, in pipeline order.  "deadline"
+#: collects requests expired by the deadline machinery (at coalescing or
+#: dispatch) rather than failed by a stage proper.
+ERROR_STAGES = ("submit", "pack", "ipc", "execute", "resolve", "deadline")
 
 
 class Histogram:
@@ -132,6 +134,28 @@ class TelemetrySnapshot:
     solve_iterations: Dict[str, float] = field(default_factory=dict)
     #: per-iteration relative residual-norm distribution across sessions
     solve_residual: Dict[str, float] = field(default_factory=dict)
+    # -- recovery counters (the self-healing layer) ---------------------
+    #: requests re-enqueued after a transient failure (worker crash, slab
+    #: error, injected fault) — each re-execution is byte-identical
+    retries: int = 0
+    #: dead worker processes respawned by the supervisor
+    worker_restarts: int = 0
+    #: shard transport directions downgraded shm -> queue after repeated
+    #: slab errors (task and result directions count independently)
+    slab_degrades: int = 0
+    #: batches executed in-parent as the terminal fallback (no live shard)
+    inline_batches: int = 0
+    #: solver sessions resumed from their last completed iteration after
+    #: a transient failure exhausted the per-request retry budget
+    solve_resumes: int = 0
+    #: batches on which the fault-injection harness fired
+    faults_injected: int = 0
+
+    @property
+    def deadline_expired(self) -> int:
+        """Requests expired by the deadline machinery (== the "deadline"
+        stage's error count)."""
+        return self.errors_by_stage.get("deadline", 0)
 
     @property
     def mean_occupancy(self) -> float:
@@ -173,6 +197,12 @@ class ServiceTelemetry:
         self._solve_iterations_total = 0
         self._solve_iters = make()
         self._solve_residual = make()
+        self._retries = 0
+        self._worker_restarts = 0
+        self._slab_degrades = 0
+        self._inline_batches = 0
+        self._solve_resumes = 0
+        self._faults_injected = 0
 
     def record_batch(
         self, requests: Sequence, started_s: float, finished_s: float
@@ -228,6 +258,31 @@ class ServiceTelemetry:
         with self._lock:
             self._solve_failures += 1
 
+    # -- recovery accounting (see TelemetrySnapshot field docs) ---------
+    def record_retries(self, n: int = 1) -> None:
+        with self._lock:
+            self._retries += int(n)
+
+    def record_worker_restart(self) -> None:
+        with self._lock:
+            self._worker_restarts += 1
+
+    def record_slab_degrade(self) -> None:
+        with self._lock:
+            self._slab_degrades += 1
+
+    def record_inline_batch(self) -> None:
+        with self._lock:
+            self._inline_batches += 1
+
+    def record_solve_resume(self) -> None:
+        with self._lock:
+            self._solve_resumes += 1
+
+    def record_fault_injected(self) -> None:
+        with self._lock:
+            self._faults_injected += 1
+
     def record_ipc(self, payload_bytes: int) -> None:
         """Account bulk payload bytes that crossed an IPC pipe (both
         directions; the process backend's feeder and dispatcher call this
@@ -254,6 +309,12 @@ class ServiceTelemetry:
                 solve_iterations_total=self._solve_iterations_total,
                 solve_iterations=self._solve_iters.summary(),
                 solve_residual=self._solve_residual.summary(),
+                retries=self._retries,
+                worker_restarts=self._worker_restarts,
+                slab_degrades=self._slab_degrades,
+                inline_batches=self._inline_batches,
+                solve_resumes=self._solve_resumes,
+                faults_injected=self._faults_injected,
             )
 
 
@@ -339,6 +400,41 @@ class ServiceStats:
                 "repro_serve_solve_iterations_total", "counter",
                 "Solver iterations across all completed sessions.",
                 float(t.solve_iterations_total),
+            ),
+            MetricSample(
+                "repro_serve_retries_total", "counter",
+                "Requests re-enqueued after a transient failure.",
+                float(t.retries),
+            ),
+            MetricSample(
+                "repro_serve_worker_restarts_total", "counter",
+                "Dead worker processes respawned by the supervisor.",
+                float(t.worker_restarts),
+            ),
+            MetricSample(
+                "repro_serve_deadline_expired_total", "counter",
+                "Requests expired by the deadline machinery.",
+                float(t.deadline_expired),
+            ),
+            MetricSample(
+                "repro_serve_slab_degrades_total", "counter",
+                "Shard transport directions downgraded shm to queue.",
+                float(t.slab_degrades),
+            ),
+            MetricSample(
+                "repro_serve_inline_batches_total", "counter",
+                "Batches executed in-parent as the terminal fallback.",
+                float(t.inline_batches),
+            ),
+            MetricSample(
+                "repro_serve_solve_resumes_total", "counter",
+                "Solver sessions resumed from their last iteration.",
+                float(t.solve_resumes),
+            ),
+            MetricSample(
+                "repro_serve_faults_injected_total", "counter",
+                "Batches on which the fault-injection harness fired.",
+                float(t.faults_injected),
             ),
             MetricSample(
                 "repro_serve_inflight_requests", "gauge",
@@ -476,6 +572,24 @@ def format_service_report(stats: ServiceStats) -> str:
         f"{'batch occupancy':<22} mean {t.occupancy['mean']:.2f}"
         f"  max {t.occupancy['max']:.0f}",
     ]
+    if (
+        t.retries
+        or t.worker_restarts
+        or t.slab_degrades
+        or t.inline_batches
+        or t.solve_resumes
+        or t.deadline_expired
+    ):
+        lines.append(
+            f"{'recovery':<22} retries {t.retries}"
+            f"  restarts {t.worker_restarts}"
+            f"  degrades {t.slab_degrades}"
+            f"  inline {t.inline_batches}"
+            f"  resumes {t.solve_resumes}"
+            f"  expired {t.deadline_expired}"
+        )
+    if t.faults_injected:
+        lines.append(f"{'faults injected':<22} {t.faults_injected}")
     if t.solves or t.solve_failures:
         lines += [
             f"{'solver sessions':<22} {t.solves} solves"

@@ -83,8 +83,10 @@ import multiprocessing
 import os
 import pickle
 import queue as std_queue
+import signal
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -98,24 +100,138 @@ from ..sptc.macpool import resolve_mac_threads
 from ..sptc.mma import MmaPrecision
 from ..stencil.grid import BoundaryCondition, Grid
 from ..stencil.spec import StencilSpec
-from .batching import BatchQueue, ServeRequest
+from .batching import BatchQueue, DeadlineExceeded, ServeRequest
+from .faults import FaultInjector, FaultPlan, InjectedFault
 from .metrics import MetricsRegistry
 from .plan_cache import CacheStats, PlanCache, PlanKey, plan_key_for
-from .shm import BlockRef, SlabAllocator, SlabAttachments
+from .shm import BlockRef, SlabAllocator, SlabAttachments, SlabError
 from .telemetry import ServiceTelemetry
 from .tracing import SpanRecorder, batch_context, stage_span
 
 __all__ = [
+    "RetryPolicy",
     "ServeWorker",
+    "WorkerCrashed",
     "WorkerPool",
     "WORKER_BACKENDS",
     "WORKER_TRANSPORTS",
     "TEMPORAL_MODES",
     "execute_serve_batch",
+    "is_transient_failure",
 ]
 
 #: Supported ``WorkerPool(backend=...)`` choices.
 WORKER_BACKENDS: Tuple[str, ...] = ("thread", "process")
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died without completing its in-flight batches.
+
+    Transient by definition (the machine is fine, the process is not):
+    the retry machinery re-enqueues affected requests — byte-identical
+    re-execution, since requests are pure functions of (plan, grid).
+    Surfaces to callers only once the retry budget (or every shard) is
+    exhausted.
+    """
+
+
+def is_transient_failure(exc: BaseException) -> bool:
+    """Whether a failure is safe and sensible to retry.
+
+    Transient failures — a crashed worker, a shared-memory protocol
+    violation, an injected fault — say nothing about the request itself,
+    so re-executing it elsewhere can succeed and is byte-identical by
+    the purity argument above.  Everything else (a bad spec, a numerics
+    bug, a deadline) is deterministic: retrying would fail identically
+    and must surface immediately.
+    """
+    return isinstance(exc, (WorkerCrashed, SlabError)) or bool(
+        getattr(exc, "transient", False)
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs of the self-healing layer (all recovery is opt-out).
+
+    Parameters
+    ----------
+    retry_budget:
+        Re-enqueues each request survives after transient failures before
+        its future fails.  Retried requests re-route through spec
+        affinity (respawning shards keep their traffic; terminally dead
+        shards rehash onto the survivors).
+    restart_budget:
+        Respawns a shard's worker process gets within ``budget_window_s``
+        before the shard is tombstoned for good.  Each consecutive
+        respawn backs off exponentially from ``restart_backoff_s``.
+    restart_backoff_s:
+        Base delay before the first respawn; doubles per consecutive
+        restart (0.05s, 0.1s, 0.2s, ...).
+    budget_window_s:
+        A worker that stays alive this long refills its shard's restart
+        budget — a crash per hour is supervision working, a crash loop
+        is not.
+    slab_error_threshold:
+        Repeated :class:`~repro.serve.shm.SlabError`\\ s in one transport
+        direction (task vs result) before that direction degrades
+        shm → queue for the shard (directions degrade independently;
+        respawns reset the degradation).  ``0`` disables degradation.
+    inline_fallback:
+        When no live shard remains (restart budgets exhausted
+        everywhere), execute batches in-parent through a lazily built
+        plan cache instead of failing them — the terminal rung of the
+        degradation ladder.  ``False`` fails them with
+        :class:`WorkerCrashed` instead.
+    solve_retries:
+        Times a solver session resumes from its last completed iterate
+        after a transient failure leaks through the per-request budget
+        (iteration ``k+1`` depends only on ``u_k`` and ``f``, so the
+        resumed trajectory is byte-identical).
+    """
+
+    retry_budget: int = 2
+    restart_budget: int = 3
+    restart_backoff_s: float = 0.05
+    budget_window_s: float = 60.0
+    slab_error_threshold: int = 3
+    inline_fallback: bool = True
+    solve_retries: int = 2
+
+    def __post_init__(self) -> None:
+        for name in (
+            "retry_budget",
+            "restart_budget",
+            "slab_error_threshold",
+            "solve_retries",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(
+                    f"{name} must be >= 0, got {getattr(self, name)}"
+                )
+        if self.restart_backoff_s < 0:
+            raise ValueError(
+                f"restart_backoff_s must be >= 0, "
+                f"got {self.restart_backoff_s}"
+            )
+        if self.budget_window_s < 0:
+            raise ValueError(
+                f"budget_window_s must be >= 0, got {self.budget_window_s}"
+            )
+
+    @classmethod
+    def disabled(cls) -> "RetryPolicy":
+        """Pre-self-healing semantics: no respawns, no retries, no
+        fallback — a dead shard tombstones and its futures fail fast
+        (what the no-recovery tests pin down)."""
+        return cls(
+            retry_budget=0,
+            restart_budget=0,
+            restart_backoff_s=0.0,
+            slab_error_threshold=0,
+            inline_fallback=False,
+            solve_retries=0,
+        )
 
 #: Supported process-backend grid/result transports (module docstring).
 WORKER_TRANSPORTS: Tuple[str, ...] = ("shm", "queue")
@@ -330,6 +446,7 @@ class ServeWorker(threading.Thread):
         clock: Callable[[], float] = time.monotonic,
         temporal_mode: str = "exact",
         tracer: Optional[SpanRecorder] = None,
+        pool: Optional["WorkerPool"] = None,
     ) -> None:
         super().__init__(name=f"spider-serve-{worker_id}", daemon=True)
         self.worker_id = worker_id
@@ -339,6 +456,10 @@ class ServeWorker(threading.Thread):
         self.telemetry = telemetry
         self.temporal_mode = temporal_mode
         self.tracer = tracer
+        #: owning pool, when any — routes transient execution failures
+        #: into the retry machinery and hosts the fault injector; a bare
+        #: worker (no pool) keeps the fail-fast behaviour
+        self.pool = pool
         self._clock = clock
 
     def run(self) -> None:  # pragma: no cover - exercised via the service
@@ -352,9 +473,17 @@ class ServeWorker(threading.Thread):
         """Compile-or-hit the plan(s), execute one fused pass, resolve all.
 
         Every exception is routed to the requests' futures — a worker never
-        dies on a bad request.
+        dies on a bad request.  With an owning pool, transient failures
+        (injected or real) re-enqueue through the pool's retry budget and
+        expired requests are failed before costing execute time.
         """
         started = self._clock()
+        pool = self.pool
+        if pool is not None:
+            batch = [r for r in batch if not r.done()]
+            batch = pool._expire_batch(batch, now=started)
+            if not batch:
+                return
         req0 = batch[0]
         tracer = self.tracer
         tracing = (
@@ -385,6 +514,15 @@ class ServeWorker(threading.Thread):
                 args={"batch": len(batch)},
             )
         try:
+            if (
+                pool is not None
+                and pool._injector is not None
+                and pool._injector.should_fire("fail_batch", self.worker_id)
+            ):
+                pool._note_fault()
+                raise InjectedFault(
+                    f"injected batch failure on shard {self.worker_id}"
+                )
             # execute_serve_batch materializes each result straight from
             # the plan's workspace accumulator into its own contiguous
             # array (run_batch_split), and runs steps>1 batches as one
@@ -408,6 +546,9 @@ class ServeWorker(threading.Thread):
                 )
         except Exception as exc:
             finished = self._clock()
+            if pool is not None and is_transient_failure(exc):
+                pool._retry_or_fail(list(batch), exc, stage="execute")
+                return
             for r in batch:
                 r._fail(exc, started_s=started, finished_s=finished)
             if self.telemetry is not None:
@@ -720,6 +861,34 @@ class WorkerPool:
         dicts).  Every shard's cache resolves plan keys against them —
         thread shards directly, process shards via the dict form shipped
         in the worker args — so both backends compile identical plans.
+    retry_policy:
+        The self-healing knobs (:class:`RetryPolicy`); ``None`` means the
+        defaults — supervision, retry, degradation and inline fallback
+        all on.  :meth:`RetryPolicy.disabled` restores the
+        pre-self-healing fail-fast semantics.
+    faults:
+        A :class:`~repro.serve.faults.FaultPlan` to arm deterministic
+        fault injection against this pool (tests, chaos benchmarks).
+        All injection happens parent-side, so the schedule is replayable
+        and survives worker respawns.
+
+    Self-healing (process backend)
+    ------------------------------
+    A shard whose worker process dies without its exit sentinel is
+    *respawned* — fresh process, fresh slab pair, fresh task queue, same
+    plan knobs and tuned plans, so the replacement compiles byte-identical
+    plans — under an exponentially backed-off restart budget that refills
+    after ``budget_window_s`` of good behaviour.  In-flight batches the
+    dead worker owned re-enqueue through each request's retry budget
+    (byte-identical re-execution: requests are pure functions of
+    (plan, grid), and duplicated in-flight copies are absorbed by the
+    futures' first-completion-wins idempotence).  A shard that exhausts
+    its restart budget is tombstoned and its traffic *rehashes* onto the
+    surviving shards; when no shard survives, batches execute in-parent
+    through a lazily built plan cache (``inline_fallback``).  Repeated
+    :class:`~repro.serve.shm.SlabError`\\ s degrade the offending
+    transport direction shm → queue for that shard until its next
+    respawn.  Every rung is counted in telemetry.
     """
 
     def __init__(
@@ -741,6 +910,8 @@ class WorkerPool:
         mac_threads: Optional[int] = None,
         mac_col_block: Optional[int] = None,
         tuned_plans: Optional[Sequence[TunedPlan]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -775,6 +946,19 @@ class WorkerPool:
         self.telemetry = telemetry
         self.tracer = tracer
         self.metrics = metrics
+        #: self-healing knobs; shared by both backends (the thread
+        #: backend uses the retry budget and inline fallback, the process
+        #: backend additionally supervises and degrades)
+        self._policy = retry_policy or RetryPolicy()
+        self._injector = (
+            FaultInjector(faults) if faults is not None and faults else None
+        )
+        self._device = device
+        self._cache_capacity = int(cache_capacity)
+        # in-parent execution fallback (terminal rung of the degradation
+        # ladder), built lazily on first use
+        self._parent_cache: Optional[PlanCache] = None
+        self._parent_cache_lock = threading.Lock()
         self._feeder_busy = self._dispatcher_busy = None
         self._dead_shard_counter = None
         if metrics is not None:
@@ -797,6 +981,11 @@ class WorkerPool:
         if metrics is not None:
             for q in self.queues:
                 q.bind_metrics(metrics)
+        for q in self.queues:
+            # queue-side deadline expiry lands in telemetry through here
+            q.on_expired = self._on_queue_expired
+        #: lock-free routing view: indices of shards accepting traffic
+        self._alive: Tuple[int, ...] = tuple(range(num_workers))
         if backend == "thread":
             self.caches: List[PlanCache] = [
                 PlanCache(
@@ -817,6 +1006,7 @@ class WorkerPool:
                     telemetry=telemetry,
                     temporal_mode=temporal_mode,
                     tracer=tracer,
+                    pool=self,
                 )
                 for i in range(num_workers)
             ]
@@ -831,8 +1021,35 @@ class WorkerPool:
         # it would oversubscribe every core the budget just divided up
         _blas_env_hygiene()
         ctx = _pick_mp_context()
+        # respawns must reuse this context: queues from one context cannot
+        # pickle into another's children (fork-context SemLocks name
+        # semaphores that spawn re-execs cannot re-open)
+        self._ctx = ctx
         self._num_workers = num_workers
-        self._cache_capacity = int(cache_capacity)
+        self._slab_initial = int(slab_initial_bytes)
+        self._slab_max = int(slab_max_bytes)
+        self._closing = False
+        # -- supervision state (all guarded by _pending_lock) -----------
+        # per-shard lifecycle: "up" (serving) -> "down" (dead, respawn
+        # pending) -> "up" again, or "dead" (tombstoned: budget exhausted
+        # or pool closing)
+        self._shard_state: List[str] = ["up"] * num_workers
+        self._restarts = [0] * num_workers
+        self._last_death = [0.0] * num_workers
+        self._respawn_at: List[Optional[float]] = [None] * num_workers
+        # bumped on every death: feeders detect mid-pack slab/queue
+        # recycling by comparing the epoch they registered under
+        self._epoch = [0] * num_workers
+        # per-shard [task-direction, result-direction] SlabError counts
+        # and the corresponding shm -> queue degradation flags
+        self._slab_errors = [[0, 0] for _ in range(num_workers)]
+        self._slab_degraded = [[False, False] for _ in range(num_workers)]
+        # feeders park here while their shard is down; set while the
+        # shard is up or terminally dead (i.e. whenever state can only
+        # change under _pending_lock, never mid-wait)
+        self._gates = [threading.Event() for _ in range(num_workers)]
+        for g in self._gates:
+            g.set()
         # per-shard (task, result) slab allocator pairs — parent-owned;
         # segments are created lazily, so a queue-transport pool never
         # touches /dev/shm
@@ -870,8 +1087,8 @@ class WorkerPool:
         # only while tracing (the dispatcher turns it into the ipc span)
         self._batch_shipped: Dict[int, float] = {}
         self._pending_lock = threading.Lock()
-        # shards whose worker died without its exit sentinel; submit()
-        # rejects them and the feeder fails anything already queued
+        # terminally dead shards (restart budget exhausted / closing):
+        # routing rehashes around them, their feeders redistribute
         self._dead_shards: set = set()
         # last-known per-shard cache stats (piggybacked on every result)
         self._shard_stats: List[CacheStats] = [
@@ -927,20 +1144,64 @@ class WorkerPool:
         return len(self.workers)
 
     def route(self, req: ServeRequest) -> int:
-        """Shard index for a request (pure function of its plan key)."""
-        return req.key.routing_hash() % self.num_workers
+        """Shard index for a request — a pure function of its plan key
+        and the set of shards accepting traffic.
 
-    def submit(self, req: ServeRequest) -> int:
-        shard = self.route(req)
+        While every shard is up this is the classic affinity hash; once
+        shards tombstone, their keys *rehash* deterministically onto the
+        survivors (every live key keeps its affinity).  ``-1`` means no
+        shard accepts traffic (the inline-fallback cue).  The ``_alive``
+        tuple is read without the lock: it is replaced atomically and a
+        momentarily stale read just routes to a shard whose death handler
+        will retry the request.
+
+        A shard that is *down but recovering* still accepts traffic when
+        no shard is up: its parent-side queue and feeder persist across
+        the respawn (the feeder parks on the shard's gate), so routing
+        there parks the request for tens of milliseconds of backoff
+        instead of spilling it to the terminal fallback while the
+        supervisor is mid-restart.
+        """
+        h = req.key.routing_hash()
+        alive = self._alive
+        if len(alive) == self.num_workers:
+            return h % self.num_workers
+        if alive:
+            return alive[h % len(alive)]
         if self.backend == "process":
             with self._pending_lock:
-                if shard in self._dead_shards:
-                    raise RuntimeError(
-                        f"serve worker process {shard} died unexpectedly; "
-                        "its shard no longer accepts requests"
+                recovering = (
+                    ()
+                    if self._closing
+                    else tuple(
+                        j
+                        for j in range(self._num_workers)
+                        if self._shard_state[j] == "down"
                     )
+                )
+            if recovering:
+                return recovering[h % len(recovering)]
+        return -1
+
+    def submit(self, req: ServeRequest) -> int:
+        if req.retries_left is None:
+            req.retries_left = self._policy.retry_budget
+        shard = self.route(req)
+        if shard < 0:
+            return self._submit_no_shards(req)
         self.queues[shard].put(req)
         return shard
+
+    def _submit_no_shards(self, req: ServeRequest) -> int:
+        """Every shard is tombstoned: inline execution (the terminal
+        fallback rung) or an explicit rejection, never a parked future."""
+        if self._policy.inline_fallback:
+            self._execute_inline([req])
+            return -1
+        raise WorkerCrashed(
+            "every serve worker process died unexpectedly and the restart "
+            "budget is exhausted; no shard accepts requests"
+        )
 
     def cache_stats(self) -> List[CacheStats]:
         """Per-shard cache stats; process shards fold in their parent-side
@@ -969,8 +1230,26 @@ class WorkerPool:
         queued, then send each worker its exit sentinel; ``join=True``
         additionally waits for feeders, worker processes and the result
         dispatcher, so on return every result is resolved and
-        ``process.is_alive()`` is False for every worker.
+        ``process.is_alive()`` is False for every worker.  A pending
+        respawn is cancelled (the shard tombstones instead): close wins
+        over recovery.
         """
+        if self.backend == "process":
+            with self._pending_lock:
+                self._closing = True
+                for i in range(self._num_workers):
+                    if self._shard_state[i] == "down":
+                        # cancel the pending respawn; the feeder's gate
+                        # opens onto a terminal state
+                        self._shard_state[i] = "dead"
+                        self._dead_shards.add(i)
+                        self._respawn_at[i] = None
+                        self._gates[i].set()
+                self._alive = tuple(
+                    j
+                    for j in range(self._num_workers)
+                    if self._shard_state[j] == "up"
+                )
         for q in self.queues:
             q.close()
         if not join:
@@ -985,14 +1264,17 @@ class WorkerPool:
             for cache in self.caches:
                 cache.release_pools()
             return
-        # feeders only move already-coalesced batches into buffered mp
-        # queues, so they finish promptly; the timeout guards against one
-        # pathological case — a dead worker whose task pipe filled up —
-        # where the daemon feeder would otherwise pin close() forever
-        for t in self._feeders:
-            t.join(timeout=60.0)
+        self._join_feeders()
         for p in self.workers:
-            p.join()
+            p.join(timeout=60.0)
+            if p.is_alive():  # pragma: no cover - defensive
+                warnings.warn(
+                    f"serve worker process {p.name} (pid {p.pid}) did not "
+                    "exit within 60s of close; terminating it",
+                    RuntimeWarning,
+                )
+                p.terminate()
+                p.join(timeout=5.0)
         self._dispatcher.join()
         for q in self._task_qs:
             q.close()
@@ -1004,9 +1286,37 @@ class WorkerPool:
                 slabs[0].close()
                 slabs[1].close()
 
+    def _join_feeders(self) -> None:
+        """Join the per-shard feeder threads — loudly.
+
+        Feeders only move already-coalesced batches into buffered mp
+        queues, so they finish promptly; a feeder for a terminally dead
+        shard gets a *short* grace (its remaining work is redistribution,
+        no worker round-trips) and any feeder that fails to stop is
+        reported with a :class:`RuntimeWarning` instead of being silently
+        abandoned — a close() that leaked a thread must say so.
+        """
+        for i, t in enumerate(self._feeders):
+            waited = 0.0
+            while t.is_alive():
+                with self._pending_lock:
+                    terminal = self._shard_state[i] == "dead"
+                limit = 5.0 if terminal else 60.0
+                if waited >= limit:
+                    warnings.warn(
+                        f"serve feeder thread for shard {i} failed to "
+                        f"stop within {limit:.0f}s of close(); abandoning "
+                        "the daemon thread (requests it held have been "
+                        "failed or redistributed)",
+                        RuntimeWarning,
+                    )
+                    break
+                t.join(timeout=0.25)
+                waited += 0.25
+
     # -- process-backend internals --------------------------------------
     def _build_batch_payload(
-        self, shard: int, batch: Sequence[ServeRequest]
+        self, shard: int, batch: Sequence[ServeRequest], epoch: int
     ) -> Tuple[tuple, Optional[BlockRef], Optional[BlockRef], int]:
         """One coalesced batch -> (payload, task block, result block,
         bytes that will cross the mp pipe).
@@ -1025,23 +1335,33 @@ class WorkerPool:
         """
         arrays = [np.ascontiguousarray(r.grid.data) for r in batch]
         bcs = [r.grid.bc.value for r in batch]
-        slabs = self._slabs[shard]
+        with self._pending_lock:
+            slabs = self._slabs[shard]
+            degraded = tuple(self._slab_degraded[shard])
         tb = rb = None
         if slabs is not None:
             task_slab, result_slab = slabs
 
-            def shard_dead() -> bool:
+            def shard_gone() -> bool:
+                # aborts the backpressure wait the moment the shard dies
+                # (its in-flight blocks are never coming back) or its
+                # slabs are recycled under a respawn (epoch bump)
                 with self._pending_lock:
-                    return shard in self._dead_shards
+                    return (
+                        self._shard_state[shard] != "up"
+                        or self._epoch[shard] != epoch
+                    )
 
-            tb = task_slab.alloc_blocking(
-                sum(a.nbytes for a in arrays), should_abort=shard_dead
-            )
-            racc = _result_dtype(batch[0].key.precision)
-            rb = result_slab.alloc_blocking(
-                len(arrays) * arrays[0].size * racc.itemsize,
-                should_abort=shard_dead,
-            )
+            if not degraded[0]:
+                tb = task_slab.alloc_blocking(
+                    sum(a.nbytes for a in arrays), should_abort=shard_gone
+                )
+            if not degraded[1]:
+                racc = _result_dtype(batch[0].key.precision)
+                rb = result_slab.alloc_blocking(
+                    len(arrays) * arrays[0].size * racc.itemsize,
+                    should_abort=shard_gone,
+                )
         if tb is not None:
             task_slab.write_batch(tb, arrays)
             payload = (
@@ -1069,8 +1389,36 @@ class WorkerPool:
         slabs = self._slabs[shard]
         if slabs is None:
             return
-        slabs[0].free(tb)
-        slabs[1].free(rb)
+        # frees from a previous slab generation are silent no-ops (the
+        # allocator drops unknown segment names and closed allocators);
+        # a SlabError here would mean a genuine protocol bug, but it must
+        # degrade to a leaked block, never kill a feeder or the dispatcher
+        try:
+            slabs[0].free(tb)
+        except SlabError:  # pragma: no cover - defensive
+            pass
+        try:
+            slabs[1].free(rb)
+        except SlabError:  # pragma: no cover - defensive
+            pass
+
+    def _await_shard(self, shard: int) -> bool:
+        """Park until the shard accepts traffic again.
+
+        True once the shard is (back) up; False once it is terminally
+        dead — the caller redistributes its batch.  The gate is cleared
+        while a respawn is pending and set on every terminal transition,
+        so a parked feeder wakes promptly either way (the timeout only
+        bounds a lost-wakeup race).
+        """
+        while True:
+            with self._pending_lock:
+                state = self._shard_state[shard]
+            if state == "up":
+                return True
+            if state == "dead":
+                return False
+            self._gates[shard].wait(timeout=0.05)
 
     def _feed_shard(self, shard: int) -> None:
         """Parent-side shard feeder: coalesced batches -> pure data -> child.
@@ -1079,19 +1427,37 @@ class WorkerPool:
         shipped, so the dispatcher can never see a result for an unknown
         request id.  Slab blocks are allocated after registration and
         recorded into the pending entries before the ship, so whoever pops
-        an entry — dispatcher, reaper or this feeder — owns returning its
-        blocks.  The task tuple carries each request's **parent-side**
-        ``time.monotonic()`` submit timestamp, keeping every queue-wait
-        reading in one clock domain (see :meth:`_dispatch_results`).
+        an entry — dispatcher, death handler or this feeder — owns
+        returning its blocks.  The task tuple carries each request's
+        **parent-side** ``time.monotonic()`` submit timestamp, keeping
+        every queue-wait reading in one clock domain (see
+        :meth:`_dispatch_results`).
+
+        Supervision hooks: a feeder whose shard is *down* parks on the
+        shard's gate until the respawn lands (then ships to the fresh
+        worker and its fresh queue/slabs) or the shard tombstones (then
+        redistributes the batch to the survivors).  The epoch captured at
+        registration detects a death racing the pack, so blocks from a
+        recycled slab generation are never shipped or freed against the
+        replacement allocators.  All process-backend fault injection
+        happens here, parent-side, so the schedule survives respawns.
         """
-        queue, task_q = self.queues[shard], self._task_qs[shard]
+        queue = self.queues[shard]
         track = f"feeder-{shard}"
         while True:
             batch = queue.get_batch()
             if batch is None:
-                task_q.put(None)
+                with self._pending_lock:
+                    terminal = self._shard_state[shard] == "dead"
+                    task_q = self._task_qs[shard]
+                if not terminal:
+                    task_q.put(None)
                 return
             loop_t0 = time.monotonic()
+            batch = [r for r in batch if not r.done()]
+            batch = self._expire_batch(batch)
+            if not batch:
+                continue
             tracer = self.tracer
             tracing = (
                 tracer is not None
@@ -1109,44 +1475,62 @@ class WorkerPool:
                     parent_id=root,
                     args={"batch": len(batch)},
                 )
-            with self._pending_lock:
-                for r in batch:
-                    self._pending[r.req_id] = (shard, r)
-                # double-check after registering: either this sees the
-                # death (and fails the batch here), or the reaper's sweep
-                # — which marks the shard dead *before* sweeping pending,
-                # under this same lock — sees the registrations; no
-                # interleaving lets a request slip through unresolved
-                dead = shard in self._dead_shards
-                if dead:
-                    batch = [
-                        self._pending.pop(r.req_id)[1]
-                        for r in batch
-                        if r.req_id in self._pending
-                    ]
-            if dead:
-                self._fail_dead_shard_batch(shard, batch)
+            # register under the shard's current epoch — or park while a
+            # respawn is pending, or hand a tombstoned shard's traffic to
+            # the survivors.  Either the registration sees the shard up,
+            # or the death handler — which flips the state *before*
+            # sweeping pending, under this same lock — sees the
+            # registrations; no interleaving strands a request.
+            registered = False
+            while not registered:
+                if not self._await_shard(shard):
+                    break
+                with self._pending_lock:
+                    if self._shard_state[shard] != "up":
+                        continue  # raced a death mid-wakeup; park again
+                    epoch0 = self._epoch[shard]
+                    for r in batch:
+                        self._pending[r.req_id] = (shard, r)
+                    registered = True
+            if not registered:
+                self._redistribute(batch)
                 continue
+            if self._injector is not None:
+                delay = self._injector.stall_delay(shard)
+                if delay > 0:
+                    self._note_fault()
+                    time.sleep(delay)
             try:
                 pack_t0 = time.monotonic()
+                if (
+                    self._injector is not None
+                    and self._injector.should_fire("fail_pickle", shard)
+                ):
+                    self._note_fault()
+                    raise InjectedFault(
+                        f"injected payload-pack failure on shard {shard}"
+                    )
                 payload, tb, rb, ipc_bytes = self._build_batch_payload(
-                    shard, batch
+                    shard, batch, epoch0
                 )
                 pack_t1 = time.monotonic()
             except Exception as exc:
-                # a payload-build failure must fail its batch, not
-                # silently kill this feeder thread and hang the callers
+                # a payload-build failure must fail (or retry) its batch,
+                # not silently kill this feeder thread and hang callers
                 with self._pending_lock:
                     batch = [
                         self._pending.pop(r.req_id)[1]
                         for r in batch
                         if r.req_id in self._pending
                     ]
-                now = time.monotonic()
-                for r in batch:
-                    r._fail(exc, started_s=now, finished_s=now)
-                if self.telemetry is not None:
-                    self.telemetry.record_error(batch, stage="pack")
+                if is_transient_failure(exc):
+                    self._retry_or_fail(batch, exc, stage="pack")
+                else:
+                    now = time.monotonic()
+                    for r in batch:
+                        r._fail(exc, started_s=now, finished_s=now)
+                    if self.telemetry is not None:
+                        self.telemetry.record_error(batch, stage="pack")
                 continue
             if tracing:
                 tracer.record_span(
@@ -1158,20 +1542,45 @@ class WorkerPool:
                     parent_id=root,
                     args={"ipc_bytes": ipc_bytes},
                 )
-            # re-check death unconditionally: alloc_blocking aborts its
-            # backpressure wait when the shard dies, and shipping the
-            # fallback payload anyway would pickle grids into a queue
-            # nobody reads (and skew the IPC-bytes telemetry)
+            # re-check the shard unconditionally: alloc_blocking aborts
+            # its backpressure wait when the shard dies, and shipping
+            # anyway would push a payload into a queue nobody reads.  A
+            # flipped state or bumped epoch means the death handler
+            # already swept (and retried) this batch's registrations —
+            # drop it; the stale blocks' frees are no-ops against the
+            # replacement allocators and their old segments are unlinked.
             with self._pending_lock:
-                dead = shard in self._dead_shards
-                if not dead and (tb is not None or rb is not None):
+                stale = (
+                    self._shard_state[shard] != "up"
+                    or self._epoch[shard] != epoch0
+                )
+                if not stale and (tb is not None or rb is not None):
                     self._batch_blocks[batch[0].req_id] = (shard, tb, rb)
-            if dead:
-                # the reaper raced us: it already popped and failed
-                # these requests, so only the just-allocated blocks
-                # need returning
+                task_q = self._task_qs[shard]
+            if stale:
                 self._free_blocks(shard, tb, rb)
                 continue
+            if (
+                self._injector is not None
+                and payload[0] == "shm"
+                and self._injector.should_fire("corrupt_slab", shard)
+            ):
+                # corrupt the *shipped* descriptor's generation tag: the
+                # worker's validation rejects the view (SlabError, a
+                # transient the retry path heals), while the true
+                # descriptor kept in _batch_blocks still frees cleanly
+                self._note_fault()
+                bad = payload[1]._replace(
+                    generation=payload[1].generation + 1
+                )
+                payload = ("shm", bad) + payload[2:]
+            if self._injector is not None and self._injector.should_fire(
+                "kill_worker", shard
+            ):
+                # SIGKILL *before* the ship: the batch is deterministically
+                # lost in flight and supervision must recover it
+                self._note_fault()
+                self._kill_shard(shard)
             if ipc_bytes and self.telemetry is not None:
                 self.telemetry.record_ipc(ipc_bytes)
             req0 = batch[0]
@@ -1196,12 +1605,15 @@ class WorkerPool:
         """Parent-side result loop: resolve futures, aggregate telemetry.
 
         Runs until every worker has acknowledged its exit sentinel — or
-        been reaped: the loop polls worker liveness whenever the result
-        queue is idle, so a shard process dying without its sentinel
-        (OOM-kill, segfault) fails its pending futures with an explicit
-        error instead of hanging every caller and ``close()``.  Per-message
-        handling is likewise defensive — a malformed message fails its own
-        batch, never the dispatcher.
+        died terminally: the loop polls worker liveness whenever the
+        result queue is idle *and* periodically under load, so a shard
+        process dying without its sentinel (OOM-kill, segfault) gets its
+        in-flight batches retried (or failed, with a fully spent budget)
+        promptly either way, and due respawns are started from here.  A
+        transiently all-down pool keeps dispatching: the loop only exits
+        once every shard has exited or tombstoned with no respawn
+        pending.  Per-message handling is defensive — a malformed message
+        fails its own batch, never the dispatcher.
 
         Timing is **offset-free by construction**: the worker reports only
         the batch's service *duration* (a clock difference, valid across
@@ -1220,13 +1632,23 @@ class WorkerPool:
         request returns its slab blocks to the shard's free lists.
         """
         exited = [False] * self.num_workers
-        while not all(exited):
+        last_sweep = time.monotonic()
+        while not self._dispatch_done(exited):
             try:
-                msg = self._result_q.get(timeout=0.2)
+                msg = self._result_q.get(timeout=0.05)
             except std_queue.Empty:
                 self._reap_dead_workers(exited)
+                self._maybe_respawn(exited)
+                last_sweep = time.monotonic()
                 continue
             handle_t0 = time.monotonic()
+            if handle_t0 - last_sweep >= 0.05:
+                # sweep under sustained load too — a steady result stream
+                # from surviving shards must not starve another shard's
+                # death detection or its due respawn
+                self._reap_dead_workers(exited)
+                self._maybe_respawn(exited)
+                last_sweep = handle_t0
             reqs: List[ServeRequest] = []
             try:
                 kind, worker_id = msg[0], msg[1]
@@ -1306,6 +1728,13 @@ class WorkerPool:
                 if kind == "err":
                     if blocks is not None:
                         self._free_blocks(*blocks)
+                    if isinstance(payload, SlabError):
+                        # the worker rejected its task-block view:
+                        # a task-direction transport failure
+                        self._note_slab_error(worker_id, 0)
+                    if reqs and is_transient_failure(payload):
+                        self._retry_or_fail(reqs, payload, stage="execute")
+                        continue
                     for r in reqs:
                         r._fail(
                             payload, started_s=started, finished_s=finished
@@ -1331,6 +1760,14 @@ class WorkerPool:
                     else:
                         outs = payload[1]
                         ipc_bytes = sum(o.nbytes for o in outs)
+                except SlabError as exc:
+                    # result-direction transport failure: the result
+                    # bytes are unreadable, but re-execution is
+                    # byte-identical — send the batch back through retry
+                    self._note_slab_error(worker_id, 1)
+                    if reqs:
+                        self._retry_or_fail(reqs, exc, stage="resolve")
+                    continue
                 finally:
                     if blocks is not None:
                         self._free_blocks(*blocks)
@@ -1430,50 +1867,408 @@ class WorkerPool:
             self._free_blocks(*b)
         return [e[1] for e in entries]
 
-    def _fail_dead_shard_batch(
-        self, shard: int, batch: Sequence[ServeRequest]
-    ) -> None:
-        if not batch:
-            return
-        exc = RuntimeError(
+    # -- supervision: death, respawn, retry, degradation ----------------
+    def _dispatch_done(self, exited: List[bool]) -> bool:
+        """The dispatcher may exit only once every worker has exited (or
+        tombstoned) *and* no shard still awaits a respawn — a transiently
+        all-down pool must keep dispatching for its replacements."""
+        if not all(exited):
+            return False
+        with self._pending_lock:
+            return not any(s == "down" for s in self._shard_state)
+
+    def _crash_exc(self, shard: int) -> WorkerCrashed:
+        return WorkerCrashed(
             f"serve worker process {shard} died unexpectedly "
             f"(exitcode {self.workers[shard].exitcode})"
         )
-        now = time.monotonic()
-        for r in batch:
-            r._fail(exc, started_s=now, finished_s=now)
-        if self.telemetry is not None:
-            self.telemetry.record_error(batch, stage="ipc")
 
     def _reap_dead_workers(self, exited: List[bool]) -> None:
-        """Treat a dead-without-sentinel worker as exited: mark its shard
-        down (submit() starts rejecting, the feeder fails anything still
-        queued) and fail the pending requests it owned — explicit errors,
-        never a hang."""
-        for i, p in enumerate(self.workers):
-            if exited[i] or p.is_alive():
+        """Detect dead-without-sentinel workers and run their shard's
+        death handling — explicit recovery or explicit errors, never a
+        hang."""
+        for i in range(self._num_workers):
+            if exited[i]:
                 continue
-            exited[i] = True
-            if self._dead_shard_counter is not None:
-                self._dead_shard_counter.inc()
             with self._pending_lock:
+                up = self._shard_state[i] == "up"
+                p = self.workers[i]
+            if up and not p.is_alive():
+                self._on_worker_death(i, exited)
+
+    def _on_worker_death(self, i: int, exited: List[bool]) -> None:
+        """One shard's worker died: schedule its respawn (or tombstone
+        it), sweep and retry the in-flight batches it owned.
+
+        The state flip, the epoch bump and the pending/block sweep happen
+        in one critical section, so a feeder either registers against the
+        live shard (and this sweep retries its batch) or observes the
+        death before shipping — no interleaving strands a request.
+        """
+        exited[i] = True
+        if self._dead_shard_counter is not None:
+            self._dead_shard_counter.inc()
+        now = time.monotonic()
+        with self._pending_lock:
+            if self._shard_state[i] != "up":  # pragma: no cover - race
+                return
+            if (
+                self._last_death[i]
+                and now - self._last_death[i] > self._policy.budget_window_s
+            ):
+                # the last incarnation survived a full window: supervision
+                # was working, refill the budget
+                self._restarts[i] = 0
+            self._last_death[i] = now
+            terminal = (
+                self._closing
+                or self._restarts[i] >= self._policy.restart_budget
+            )
+            if terminal:
+                self._shard_state[i] = "dead"
                 self._dead_shards.add(i)
-                dead_ids = [
-                    rid
-                    for rid, (shard, _) in self._pending.items()
-                    if shard == i
-                ]
-                dead = [self._pending.pop(rid)[1] for rid in dead_ids]
-                block_ids = [
-                    bid
-                    for bid, (shard, _, _) in self._batch_blocks.items()
-                    if shard == i
-                ]
-                blocks = [self._batch_blocks.pop(bid) for bid in block_ids]
-                # shipped stamps are keyed by a batch's first req id,
-                # which is always among the shard's dead pending ids
-                for rid in dead_ids:
-                    self._batch_shipped.pop(rid, None)
-            for b in blocks:
-                self._free_blocks(*b)
-            self._fail_dead_shard_batch(i, dead)
+                self._respawn_at[i] = None
+                self._gates[i].set()
+            else:
+                self._shard_state[i] = "down"
+                self._respawn_at[i] = now + (
+                    self._policy.restart_backoff_s * (2 ** self._restarts[i])
+                )
+                self._gates[i].clear()
+            # feeders mid-pack detect the recycling through this bump
+            self._epoch[i] += 1
+            self._alive = tuple(
+                j
+                for j in range(self._num_workers)
+                if self._shard_state[j] == "up"
+            )
+            dead_ids = [
+                rid
+                for rid, (shard, _) in self._pending.items()
+                if shard == i
+            ]
+            dead = [self._pending.pop(rid)[1] for rid in dead_ids]
+            block_ids = [
+                bid
+                for bid, (shard, _, _) in self._batch_blocks.items()
+                if shard == i
+            ]
+            blocks = [self._batch_blocks.pop(bid) for bid in block_ids]
+            # shipped stamps are keyed by a batch's first req id,
+            # which is always among the shard's dead pending ids
+            for rid in dead_ids:
+                self._batch_shipped.pop(rid, None)
+        for b in blocks:
+            self._free_blocks(*b)
+        # a death sweep condemns every batch shipped to the shard since
+        # the last dispatch — most were innocent bystanders queued behind
+        # the one that (maybe) triggered the crash.  Redistribution burns
+        # no per-request retry budget; runaway crash loops are bounded by
+        # the shard restart budget instead, whose exhaustion tombstones
+        # the shard and diverts traffic to survivors / the inline rung.
+        self._redistribute(dead, self._crash_exc(i))
+
+    def _maybe_respawn(self, exited: List[bool]) -> None:
+        now = time.monotonic()
+        for i in range(self._num_workers):
+            with self._pending_lock:
+                due = (
+                    not self._closing
+                    and self._shard_state[i] == "down"
+                    and self._respawn_at[i] is not None
+                    and now >= self._respawn_at[i]
+                )
+            if due:
+                self._respawn_shard(i, exited)
+
+    def _respawn_shard(self, i: int, exited: List[bool]) -> None:
+        """Replace a dead shard worker: fresh process, fresh slab pair,
+        fresh task queue — same context, same plan knobs, same tuned
+        plans, so the replacement compiles byte-identical plans.
+
+        Runs on the dispatcher thread only.  The swap happens under the
+        pending lock after the new process has started, and a close()
+        racing the respawn wins: the fresh worker is torn straight back
+        down and the shard tombstones.
+        """
+        old_q = self._task_qs[i]
+        old_slabs = self._slabs[i]
+        new_slabs = None
+        if self.transport == "shm":
+            new_slabs = (
+                SlabAllocator(self._slab_initial, self._slab_max),
+                SlabAllocator(self._slab_initial, self._slab_max),
+            )
+            if self.metrics is not None:
+                new_slabs[0].bind_metrics(self.metrics)
+                new_slabs[1].bind_metrics(self.metrics)
+        task_q = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_process_worker_main,
+            args=(
+                i,
+                task_q,
+                self._result_q,
+                self._cache_capacity,
+                self._device.to_dict(),
+                self.temporal_mode,
+                self.mac_threads,
+                self.mac_col_block,
+                [p.to_dict() for p in self.tuned_plans],
+            ),
+            name=f"spider-serve-proc-{i}",
+            daemon=True,
+        )
+        proc.start()
+        with self._pending_lock:
+            rollback = self._closing
+            if not rollback:
+                self.workers[i] = proc
+                self._task_qs[i] = task_q
+                self._slabs[i] = new_slabs
+                self._restarts[i] += 1
+                self._shard_state[i] = "up"
+                self._respawn_at[i] = None
+                self._slab_errors[i] = [0, 0]
+                self._slab_degraded[i] = [False, False]
+                self._dead_shards.discard(i)
+                self._alive = tuple(
+                    j
+                    for j in range(self._num_workers)
+                    if self._shard_state[j] == "up"
+                )
+                exited[i] = False
+                self._gates[i].set()
+        if rollback:  # pragma: no cover - close() raced the respawn
+            with self._pending_lock:
+                self._shard_state[i] = "dead"
+                self._dead_shards.add(i)
+                self._respawn_at[i] = None
+                self._gates[i].set()
+                self._alive = tuple(
+                    j
+                    for j in range(self._num_workers)
+                    if self._shard_state[j] == "up"
+                )
+            proc.terminate()
+            proc.join(timeout=5.0)
+            if new_slabs is not None:
+                new_slabs[0].close()
+                new_slabs[1].close()
+            task_q.close()
+            task_q.cancel_join_thread()
+        else:
+            if self.telemetry is not None:
+                self.telemetry.record_worker_restart()
+        # the dead incarnation's transport retires: every pending entry
+        # and block of the old epoch was swept at death, so nothing will
+        # read the old queue or free against the old allocators
+        if old_slabs is not None:
+            old_slabs[0].close()
+            old_slabs[1].close()
+        old_q.close()
+        old_q.cancel_join_thread()
+
+    def _retry_or_fail(
+        self, reqs: Sequence[ServeRequest], exc: BaseException, stage: str
+    ) -> None:
+        """Recovery funnel for a batch that hit a failure.
+
+        Transient failures re-enqueue each request through spec-affinity
+        routing while its retry budget lasts (byte-identical by purity);
+        with no live shard the inline fallback executes in-parent.
+        Everything else — deterministic failures, spent budgets — fails
+        the futures with the original exception, recorded under
+        ``stage``.
+        """
+        reqs = [r for r in reqs if not r.done()]
+        reqs = self._expire_batch(reqs)
+        if not reqs:
+            return
+        transient = is_transient_failure(exc)
+        retried = 0
+        failed: List[ServeRequest] = []
+        for r in reqs:
+            budget = (
+                r.retries_left
+                if r.retries_left is not None
+                else self._policy.retry_budget
+            )
+            if transient and budget > 0:
+                r.retries_left = budget - 1
+                target = self.route(r)
+                if target >= 0:
+                    try:
+                        self.queues[target].put(r)
+                        retried += 1
+                        continue
+                    except RuntimeError:
+                        pass  # queue closed mid-retry; fall through
+                if self._policy.inline_fallback:
+                    self._execute_inline([r])
+                    retried += 1
+                    continue
+            failed.append(r)
+        if retried and self.telemetry is not None:
+            self.telemetry.record_retries(retried)
+        if failed:
+            now = time.monotonic()
+            for r in failed:
+                r._fail(exc, started_s=now, finished_s=now)
+            if self.telemetry is not None:
+                self.telemetry.record_error(failed, stage=stage)
+
+    def _redistribute(
+        self,
+        batch: Sequence[ServeRequest],
+        exc: Optional[BaseException] = None,
+    ) -> None:
+        """Rehash a tombstoned shard's traffic onto the survivors.
+
+        Unlike :meth:`_retry_or_fail` this consumes no retry budget — the
+        requests never reached a worker, they are simply being re-routed.
+        ``exc`` (when given) is what a request fails with if no shard and
+        no inline rung will take it.
+        """
+        batch = [r for r in batch if not r.done()]
+        batch = self._expire_batch(batch)
+        for r in batch:
+            target = self.route(r)
+            if target >= 0:
+                try:
+                    self.queues[target].put(r)
+                    continue
+                except RuntimeError:
+                    pass  # queue closed under us; fall through
+            if self._policy.inline_fallback:
+                self._execute_inline([r])
+            else:
+                now = time.monotonic()
+                r._fail(
+                    exc
+                    if exc is not None
+                    else WorkerCrashed(
+                        f"serve worker process for request {r.req_id} "
+                        "died unexpectedly and no shard accepts requests"
+                    ),
+                    started_s=now,
+                    finished_s=now,
+                )
+                if self.telemetry is not None:
+                    self.telemetry.record_error([r], stage="ipc")
+
+    def _inline_cache(self) -> PlanCache:
+        with self._parent_cache_lock:
+            if self._parent_cache is None:
+                self._parent_cache = PlanCache(
+                    capacity=self._cache_capacity,
+                    device=self._device,
+                    mac_threads=self.mac_threads,
+                    mac_col_block=self.mac_col_block,
+                    tuned_plans=self.tuned_plans,
+                )
+            return self._parent_cache
+
+    def _execute_inline(self, batch: Sequence[ServeRequest]) -> None:
+        """Terminal fallback: serve a batch in-parent, synchronously.
+
+        Uses a lazily built parent-side plan cache with the pool's exact
+        knobs, so inline results are byte-identical to worker results.
+        """
+        batch = [r for r in batch if not r.done()]
+        if not batch:
+            return
+        started = time.monotonic()
+        req0 = batch[0]
+        try:
+            outs = execute_serve_batch(
+                self._inline_cache(),
+                req0.key,
+                req0.spec,
+                [r.grid for r in batch],
+                self.temporal_mode,
+            )
+        except Exception as exc:
+            finished = time.monotonic()
+            for r in batch:
+                r._fail(exc, started_s=started, finished_s=finished)
+            if self.telemetry is not None:
+                self.telemetry.record_error(batch, stage="execute")
+            return
+        finished = time.monotonic()
+        for r, out in zip(batch, outs):
+            r._resolve(
+                out,
+                batch_size=len(batch),
+                started_s=started,
+                finished_s=finished,
+            )
+        if self.telemetry is not None:
+            self.telemetry.record_batch(batch, started, finished)
+            self.telemetry.record_inline_batch()
+
+    def _expire_batch(
+        self, batch: Sequence[ServeRequest], now: Optional[float] = None
+    ) -> List[ServeRequest]:
+        """Fail every expired request in ``batch`` with
+        :class:`DeadlineExceeded`; the live remainder is returned."""
+        if not batch:
+            return []
+        if now is None:
+            now = time.monotonic()
+        live: List[ServeRequest] = []
+        expired: List[ServeRequest] = []
+        for r in batch:
+            if not r.done() and r.expired(now):
+                r._fail(
+                    DeadlineExceeded(
+                        f"request {r.req_id} missed its deadline"
+                    ),
+                    started_s=now,
+                    finished_s=now,
+                )
+                expired.append(r)
+            else:
+                live.append(r)
+        if expired and self.telemetry is not None:
+            self.telemetry.record_error(expired, stage="deadline")
+        return live
+
+    def _on_queue_expired(self, expired: List[ServeRequest]) -> None:
+        if self.telemetry is not None:
+            self.telemetry.record_error(expired, stage="deadline")
+
+    def _note_fault(self) -> None:
+        if self.telemetry is not None:
+            self.telemetry.record_fault_injected()
+
+    def _note_slab_error(self, shard: int, direction: int) -> None:
+        """Count one transport-direction SlabError; past the policy
+        threshold the direction degrades shm -> queue for this shard
+        (its next respawn resets it)."""
+        threshold = self._policy.slab_error_threshold
+        if threshold <= 0:
+            return
+        degraded = False
+        with self._pending_lock:
+            self._slab_errors[shard][direction] += 1
+            if (
+                self._slab_errors[shard][direction] >= threshold
+                and not self._slab_degraded[shard][direction]
+            ):
+                self._slab_degraded[shard][direction] = True
+                degraded = True
+        if degraded and self.telemetry is not None:
+            self.telemetry.record_slab_degrade()
+
+    def _kill_shard(self, shard: int) -> None:
+        """SIGKILL the shard's worker process (fault injection only)."""
+        with self._pending_lock:
+            p = self.workers[shard]
+        if p.pid is None or not p.is_alive():
+            return
+        try:
+            os.kill(p.pid, signal.SIGKILL)
+        except (ProcessLookupError, OSError):  # pragma: no cover
+            return
+        p.join(timeout=5.0)

@@ -417,6 +417,7 @@ def solve(
     record_history: bool = False,
     history_limit: int = HISTORY_LIMIT,
     on_iteration: Optional[Callable[[int, float], None]] = None,
+    on_state: Optional[Callable[[int, np.ndarray], None]] = None,
 ) -> SolveResult:
     """Solve ``A u = f`` for the stencil operator ``spec`` (zero BC).
 
@@ -430,9 +431,14 @@ def solve(
     ``executor`` is any ``(spec, grid) -> ndarray`` callable; the default
     is the shared plan-cached executor.  ``on_iteration(it, residual)``
     is invoked after each iteration — the serving layer uses it for spans
-    and telemetry without perturbing the numerics.  This one driver is
-    what both the inline and the served solve path run, which is the
-    mechanism behind the byte-identity guarantee.
+    and telemetry without perturbing the numerics.  ``on_state(it, u)``
+    is invoked right after with the completed iterate itself: because
+    iteration ``k+1`` depends only on ``u_k`` and ``f``, a caller that
+    checkpoints ``u`` can *resume* an interrupted solve with ``x0=u_k``
+    and reproduce the remaining trajectory byte-identically — the serving
+    layer's session-resume path.  This one driver is what both the inline
+    and the served solve path run, which is the mechanism behind the
+    byte-identity guarantee.
     """
     if isinstance(rhs, Grid):
         if rhs.bc is not BoundaryCondition.ZERO:
@@ -484,6 +490,8 @@ def solve(
             history.append(residual_norm)
         if on_iteration is not None:
             on_iteration(it, residual_norm)
+        if on_state is not None:
+            on_state(it, u)
         if residual_norm < tol:
             return SolveResult(
                 u, it, residual_norm, True, list(history or ())

@@ -16,7 +16,13 @@ import time
 import numpy as np
 import pytest
 
-from repro.serve import ServeRequest, StencilService, WorkerPool, plan_key_for
+from repro.serve import (
+    RetryPolicy,
+    ServeRequest,
+    StencilService,
+    WorkerPool,
+    plan_key_for,
+)
 from repro.stencil import (
     BoundaryCondition,
     Grid,
@@ -214,8 +220,14 @@ def test_no_orphaned_worker_processes(rng):
 
 def test_dead_worker_fails_futures_instead_of_hanging(rng):
     """A worker killed mid-flight (OOM-kill stand-in) must fail its
-    pending requests with an explicit error — and close() must return."""
-    pool = WorkerPool(1, backend="process", max_wait_s=10.0)
+    pending requests with an explicit error — and close() must return.
+    Pins the pre-self-healing contract: recovery disabled."""
+    pool = WorkerPool(
+        1,
+        backend="process",
+        max_wait_s=10.0,
+        retry_policy=RetryPolicy.disabled(),
+    )
     spec = named_stencil("heat2d")
     grid = Grid.random((12, 12), rng)
     req = ServeRequest(
@@ -234,9 +246,15 @@ def test_dead_worker_fails_futures_instead_of_hanging(rng):
 
 
 def test_submit_to_reaped_dead_shard_raises(rng):
-    """Once a dead shard has been reaped, new submits routed to it must be
-    rejected immediately — not accepted into a queue nobody consumes."""
-    pool = WorkerPool(1, backend="process", max_wait_s=0.001)
+    """Once a dead shard has been reaped (recovery disabled), new submits
+    routed to it must be rejected immediately — not accepted into a queue
+    nobody consumes."""
+    pool = WorkerPool(
+        1,
+        backend="process",
+        max_wait_s=0.001,
+        retry_policy=RetryPolicy.disabled(),
+    )
     spec = named_stencil("heat2d")
     pool.workers[0].terminate()
     pool.workers[0].join()
